@@ -1,0 +1,99 @@
+// Command mdrs-bench regenerates the paper's evaluation: every figure of
+// Section 6 plus the ablations documented in DESIGN.md, printed as
+// aligned text series.
+//
+// Usage:
+//
+//	mdrs-bench [-fig 5a|5b|6a|6b|malleable|order|shelf|contention|memory|
+//	            shape|plansearch|pipeline|batch|decluster|all] [-table2]
+//	           [-queries N] [-seed S] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mdrs/internal/experiments"
+)
+
+// figures maps figure names to their generators, in canonical order.
+var figures = map[string]func(experiments.Config) (*experiments.Figure, error){
+	"5a":         experiments.Fig5a,
+	"5b":         experiments.Fig5b,
+	"6a":         experiments.Fig6a,
+	"6b":         experiments.Fig6b,
+	"malleable":  experiments.Malleable,
+	"order":      experiments.OrderAblation,
+	"shelf":      experiments.ShelfAblation,
+	"contention": experiments.ContentionAblation,
+	"memory":     experiments.MemoryAblation,
+	"shape":      experiments.ShapeAblation,
+	"plansearch": experiments.PlanSearchAblation,
+	"pipeline":   experiments.PipelineAblation,
+	"batch":      experiments.BatchAblation,
+	"decluster":  experiments.DeclusterAblation,
+}
+
+var figureOrder = []string{"5a", "5b", "6a", "6b", "malleable", "order",
+	"shelf", "contention", "memory", "shape", "plansearch", "pipeline",
+	"batch", "decluster"}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (see usage) or all")
+	table2 := flag.Bool("table2", false, "print Table 2 (experiment parameter settings)")
+	queries := flag.Int("queries", 0, "override queries per data point (default: paper's 20)")
+	seed := flag.Int64("seed", 0, "override workload seed")
+	quick := flag.Bool("quick", false, "use the scaled-down Quick configuration")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	if *table2 {
+		fmt.Print(experiments.Table2(cfg))
+		fmt.Println()
+	}
+
+	if err := emit(os.Stdout, cfg, *fig, *asCSV); err != nil {
+		fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// emit regenerates one figure (or all of them) into w, as aligned text
+// or CSV.
+func emit(w io.Writer, cfg experiments.Config, name string, asCSV bool) error {
+	names := []string{name}
+	if name == "all" {
+		names = figureOrder
+	}
+	for _, n := range names {
+		fn, ok := figures[n]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", n)
+		}
+		f, err := fn(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		write := experiments.WriteText
+		if asCSV {
+			write = experiments.WriteCSV
+		}
+		if err := write(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

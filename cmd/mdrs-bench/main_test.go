@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mdrs/internal/experiments"
+)
+
+func testConfig() experiments.Config {
+	c := experiments.Quick()
+	c.Queries = 4 // batch ablation groups queries in fours
+	c.Sites = []int{10, 40}
+	return c
+}
+
+func TestEmitSingleFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(&sb, testConfig(), "6b", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 6b") {
+		t.Fatalf("output missing figure header:\n%s", sb.String()[:100])
+	}
+}
+
+func TestEmitUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(&sb, testConfig(), "9z", false); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestEmitAllCoversEveryRegisteredFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	var sb strings.Builder
+	if err := emit(&sb, testConfig(), "all", false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range figureOrder {
+		if !strings.Contains(out, "Figure "+name) {
+			t.Fatalf("all-run missing figure %s", name)
+		}
+	}
+	if len(figures) != len(figureOrder) {
+		t.Fatalf("registry has %d figures, order lists %d", len(figures), len(figureOrder))
+	}
+}
+
+func TestEmitCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(&sb, testConfig(), "6b", true); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(sb.String(), "\n", 2)[0]
+	if !strings.Contains(first, "sites,") {
+		t.Fatalf("CSV header missing: %q", first)
+	}
+}
+
+func TestEmitRejectsInvalidConfig(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(&sb, experiments.Config{}, "5a", false); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

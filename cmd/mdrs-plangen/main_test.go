@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"mdrs"
+)
+
+func TestGenerateValidPlans(t *testing.T) {
+	for _, shape := range []string{"bushy", "left", "right", "balanced"} {
+		data, err := generate(6, 3, 1000, 50000, shape)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		p, err := mdrs.DecodePlan(data)
+		if err != nil {
+			t.Fatalf("%s: emitted invalid JSON: %v", shape, err)
+		}
+		if p.Joins() != 6 {
+			t.Fatalf("%s: joins = %d", shape, p.Joins())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := generate(5, 9, 1000, 10000, "bushy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate(5, 9, 1000, 10000, "bushy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different plans")
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	if _, err := generate(5, 1, 1000, 10000, "spiral"); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	if _, err := generate(-1, 1, 1000, 10000, "bushy"); err == nil {
+		t.Error("negative joins accepted")
+	}
+	if _, err := generate(5, 1, 10, 5, "bushy"); err == nil {
+		t.Error("inverted cardinality range accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdrs"
+)
+
+func writePlan(t *testing.T, joins int) string {
+	t.Helper()
+	p := mdrs.MustRandomPlan(rand.New(rand.NewSource(4)), mdrs.DefaultGenConfig(joins))
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummaryOutput(t *testing.T) {
+	path := writePlan(t, 5)
+	var sb strings.Builder
+	if err := run(&sb, path, 8, 0.5, 0.7, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"plan: 5 joins", "TreeSchedule response:",
+		"Synchronous  response:", "OPTBOUND lower bound:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunVerboseListsPlacements(t *testing.T) {
+	path := writePlan(t, 4)
+	var sb strings.Builder
+	if err := run(&sb, path, 6, 0.5, 0.7, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "phase 0") || !strings.Contains(out, "scan(") {
+		t.Fatalf("verbose output missing placements:\n%s", out)
+	}
+	if !strings.Contains(out, "rooted") {
+		t.Fatalf("verbose output missing rooted probes:\n%s", out)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writePlan(t, 3)
+	var sb strings.Builder
+	if err := run(&sb, path, 4, 0.5, 0.7, false, true, false); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Response float64 `json:"response_seconds"`
+		Sites    int     `json:"sites"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Sites != 4 || decoded.Response <= 0 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+}
+
+func TestRunChartOutput(t *testing.T) {
+	path := writePlan(t, 3)
+	var sb strings.Builder
+	if err := run(&sb, path, 4, 0.5, 0.7, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "utilization:") || !strings.Contains(sb.String(), "site") {
+		t.Fatalf("chart output missing bars:\n%s", sb.String())
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	p1 := writePlan(t, 4)
+	p2 := writePlan(t, 6)
+	var sb strings.Builder
+	if err := runBatch(&sb, []string{p1, p2}, 12, 0.5, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"back-to-back:", "batched:", "4 joins", "6 joins"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("batch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := runBatch(&sb, []string{"/nonexistent.json"}, 8, 0.5, 0.7); err == nil {
+		t.Error("missing batch file accepted")
+	}
+	p := writePlan(t, 3)
+	if err := runBatch(&sb, []string{p}, 8, -1, 0.7); err == nil {
+		t.Error("invalid ε accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, filepath.Join(t.TempDir(), "missing.json"),
+		8, 0.5, 0.7, false, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, bad, 8, 0.5, 0.7, false, false, false); err == nil {
+		t.Error("malformed plan accepted")
+	}
+	good := writePlan(t, 3)
+	if err := run(&sb, good, 0, 0.5, 0.7, false, false, false); err == nil {
+		t.Error("P = 0 accepted")
+	}
+	if err := run(&sb, good, 4, 2.0, 0.7, false, false, false); err == nil {
+		t.Error("ε = 2 accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package mdrs_test
+
+import (
+	"math"
+	"testing"
+
+	"mdrs"
+	"mdrs/internal/resource"
+	"mdrs/internal/sched"
+)
+
+// Fuzz targets harden the public entry points against malformed input.
+// Under plain `go test` they run their seed corpus as regular tests;
+// `go test -fuzz=FuzzDecodePlan .` explores further.
+
+// FuzzDecodePlan asserts DecodePlan never panics and that every
+// accepted plan is structurally valid and re-encodable.
+func FuzzDecodePlan(f *testing.F) {
+	f.Add([]byte(`{"relation":{"name":"R","tuples":10},"tuples":10}`))
+	f.Add([]byte(`{"outer":{"relation":{"name":"A","tuples":5},"tuples":5},` +
+		`"inner":{"relation":{"name":"B","tuples":3},"tuples":3},"tuples":5}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"tuples":-1}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := mdrs.DecodePlan(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("DecodePlan accepted an invalid plan: %v", err)
+		}
+		if _, err := p.Encode(); err != nil {
+			t.Fatalf("accepted plan failed to re-encode: %v", err)
+		}
+		// A valid plan must be schedulable end to end.
+		if _, err := mdrs.ScheduleQuery(p, mdrs.Options{Sites: 3, Epsilon: 0.5, F: 0.7}); err != nil {
+			t.Fatalf("accepted plan failed to schedule: %v", err)
+		}
+	})
+}
+
+// FuzzOperatorSchedule asserts the core list scheduler never panics,
+// never violates Definition 5.1, and always respects the (2d+1)·LB
+// envelope for whatever clone geometry the fuzzer invents.
+func FuzzOperatorSchedule(f *testing.F) {
+	f.Add(uint8(2), uint8(2), int64(1), 0.5)
+	f.Add(uint8(1), uint8(3), int64(7), 0.0)
+	f.Add(uint8(12), uint8(1), int64(42), 1.0)
+	f.Fuzz(func(t *testing.T, pRaw, dRaw uint8, seed int64, eps float64) {
+		p := int(pRaw%16) + 1
+		d := int(dRaw%4) + 1
+		if eps < 0 || eps > 1 || math.IsNaN(eps) {
+			return
+		}
+		ov := resource.MustOverlap(eps)
+		// Deterministic op synthesis from the seed.
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(uint64(s)>>11) / float64(1<<53) * 10
+		}
+		m := int(uint64(seed)%7) + 1
+		ops := make([]*sched.Op, m)
+		for i := range ops {
+			n := int(uint64(seed+int64(i))%uint64(p)) + 1
+			clones := make([]mdrs.Vector, n)
+			for k := range clones {
+				w := make(mdrs.Vector, d)
+				for j := range w {
+					w[j] = next()
+				}
+				clones[k] = w
+			}
+			ops[i] = &sched.Op{ID: i, Clones: clones}
+		}
+		res, err := sched.OperatorSchedule(p, d, ov, ops)
+		if err != nil {
+			t.Fatalf("valid instance rejected: %v", err)
+		}
+		for _, op := range ops {
+			seen := map[int]bool{}
+			for _, site := range res.Sites[op.ID] {
+				if site < 0 || site >= p || seen[site] {
+					t.Fatalf("placement violates Definition 5.1: %v", res.Sites[op.ID])
+				}
+				seen[site] = true
+			}
+		}
+		lb := sched.LowerBound(p, ov, ops)
+		if res.Response < lb-1e-9 || res.Response > sched.PerformanceRatioBound(d)*lb+1e-9 {
+			t.Fatalf("response %g outside [LB, (2d+1)LB] = [%g, %g]",
+				res.Response, lb, sched.PerformanceRatioBound(d)*lb)
+		}
+	})
+}

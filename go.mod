@@ -1,0 +1,3 @@
+module mdrs
+
+go 1.22

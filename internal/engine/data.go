@@ -1,0 +1,209 @@
+// Package engine is a small in-memory shared-nothing hash-join
+// execution engine. It exists to validate schedules end-to-end: it
+// actually executes a scheduled bushy plan — partitioned scans, hash
+// builds, pipelined probes over synthetic data, with the work of every
+// operator clone metered against per-site virtual resource clocks using
+// the same Table 2 cost constants the scheduler plans with — and checks
+// that (a) every join produces exactly the cardinality the optimizer's
+// simple-key-join rule predicts and (b) the measured response time
+// tracks the scheduler's analytic prediction.
+//
+// # Synthetic data
+//
+// The paper's workloads assume simple key joins where the result size
+// equals the larger operand's size. The generator realizes that with a
+// foreign-key discipline per join: the smaller operand carries distinct
+// keys 0..s−1 and the larger operand carries keys drawn from [0, s), so
+// every larger-side tuple matches exactly one smaller-side tuple and
+// |result| = max(|L|, |R|).
+//
+// Tuples are represented as identities into their "carrier" leaf — the
+// base relation whose rows survive, join after join, along the chain of
+// larger operands. A join's result tuple keeps the identity of its
+// larger operand's tuple, so the keys a tuple needs for future joins are
+// exactly the key columns assigned to its carrier leaf at generation
+// time.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdrs/internal/query"
+)
+
+// Tuple identifies one row flowing through the engine: a row of the
+// carrier leaf relation. The modeled width of every tuple is the
+// catalog's TupleBytes regardless of this compact representation.
+type Tuple struct {
+	Leaf int32 // leaf relation index within the Dataset
+	Row  int32 // row within the leaf
+}
+
+// keySlot records that a leaf carries a key column for one join.
+type keySlot struct {
+	joinNode *query.PlanNode
+	smaller  bool // the leaf's subtree is the join's smaller operand
+	domain   int  // s = min(|outer|, |inner|) of the join
+}
+
+// leafData is a generated base relation: one key column per join the
+// leaf is the carrier for.
+type leafData struct {
+	rel   *query.Relation
+	slots []keySlot
+	keys  [][]int32 // keys[slot][row]
+	index map[*query.PlanNode]int
+}
+
+// Dataset holds the generated base relations of one plan.
+type Dataset struct {
+	// Plan is the source execution plan.
+	Plan *query.PlanNode
+
+	leaves []*leafData
+	byLeaf map[*query.PlanNode]int32 // leaf plan node -> leaf index
+	skewS  float64                   // Zipf exponent for larger-side keys; 0 = uniform
+}
+
+// GenOptions tunes data generation.
+type GenOptions struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// SkewS, when > 1, draws the larger operands' join keys from a Zipf
+	// distribution with exponent SkewS instead of uniformly. Every
+	// larger-side tuple still matches exactly one smaller-side tuple
+	// (cardinalities are unchanged), but hash partitions become uneven —
+	// violating the no-execution-skew assumption EA1 on purpose, to
+	// measure how far reality can drift from the scheduler's prediction.
+	// Zero means uniform keys.
+	SkewS float64
+}
+
+// Generate creates synthetic relations for a validated plan with
+// uniform keys. The same seed always yields the same data.
+func Generate(p *query.PlanNode, seed int64) (*Dataset, error) {
+	return GenerateOpts(p, GenOptions{Seed: seed})
+}
+
+// GenerateOpts is Generate with explicit options.
+func GenerateOpts(p *query.PlanNode, opts GenOptions) (*Dataset, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: generating data for invalid plan: %w", err)
+	}
+	if opts.SkewS != 0 && opts.SkewS <= 1 {
+		return nil, fmt.Errorf("engine: Zipf exponent %g must exceed 1 (or be 0 for uniform)", opts.SkewS)
+	}
+	ds := &Dataset{Plan: p, byLeaf: make(map[*query.PlanNode]int32), skewS: opts.SkewS}
+	r := rand.New(rand.NewSource(opts.Seed))
+	ds.walk(r, p, nil)
+	return ds, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(p *query.PlanNode, seed int64) *Dataset {
+	ds, err := Generate(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// walk descends the plan accumulating the pending key slots the current
+// subtree's carrier leaf must provide.
+func (ds *Dataset) walk(r *rand.Rand, n *query.PlanNode, pending []keySlot) {
+	if n.IsLeaf() {
+		ld := &leafData{
+			rel:   n.Relation,
+			slots: pending,
+			keys:  make([][]int32, len(pending)),
+			index: make(map[*query.PlanNode]int, len(pending)),
+		}
+		for si, slot := range pending {
+			col := make([]int32, n.Relation.Tuples)
+			if slot.smaller {
+				// Distinct keys 0..s−1: the leaf has exactly s rows.
+				perm := r.Perm(slot.domain)
+				for i := range col {
+					col[i] = int32(perm[i])
+				}
+			} else if ds.skewS > 1 {
+				z := rand.NewZipf(r, ds.skewS, 1, uint64(slot.domain-1))
+				for i := range col {
+					col[i] = int32(z.Uint64())
+				}
+			} else {
+				for i := range col {
+					col[i] = int32(r.Intn(slot.domain))
+				}
+			}
+			ld.keys[si] = col
+			ld.index[slot.joinNode] = si
+		}
+		ds.byLeaf[n] = int32(len(ds.leaves))
+		ds.leaves = append(ds.leaves, ld)
+		return
+	}
+
+	s := n.Outer.Tuples
+	if n.Inner.Tuples < s {
+		s = n.Inner.Tuples
+	}
+	// The carrier (larger) child keeps the pending chain; the smaller
+	// child's rows are dropped after this join, so it only needs this
+	// join's key. Ties go to the outer child, matching OuterIsCarrier.
+	outerSlot := keySlot{joinNode: n, smaller: n.Outer.Tuples < n.Inner.Tuples, domain: s}
+	innerSlot := keySlot{joinNode: n, smaller: !outerSlot.smaller, domain: s}
+	var outerPending, innerPending []keySlot
+	if OuterIsCarrier(n) {
+		outerPending = append([]keySlot{outerSlot}, pending...)
+		innerPending = []keySlot{innerSlot}
+	} else {
+		outerPending = []keySlot{outerSlot}
+		innerPending = append([]keySlot{innerSlot}, pending...)
+	}
+	ds.walk(r, n.Outer, outerPending)
+	ds.walk(r, n.Inner, innerPending)
+}
+
+// OuterIsCarrier reports whether the join's result tuples inherit the
+// identity of the outer (probe-side) operand: true when the outer
+// operand is at least as large as the inner one.
+func OuterIsCarrier(join *query.PlanNode) bool {
+	return join.Outer.Tuples >= join.Inner.Tuples
+}
+
+// NumLeaves returns the number of generated base relations.
+func (ds *Dataset) NumLeaves() int { return len(ds.leaves) }
+
+// LeafIndex returns the dataset index of the given leaf plan node.
+func (ds *Dataset) LeafIndex(leaf *query.PlanNode) (int32, error) {
+	idx, ok := ds.byLeaf[leaf]
+	if !ok {
+		return 0, fmt.Errorf("engine: plan node is not a leaf of this dataset")
+	}
+	return idx, nil
+}
+
+// LeafTuples returns the identity tuples of leaf i, in row order.
+func (ds *Dataset) LeafTuples(i int32) []Tuple {
+	ld := ds.leaves[i]
+	out := make([]Tuple, ld.rel.Tuples)
+	for r := range out {
+		out[r] = Tuple{Leaf: i, Row: int32(r)}
+	}
+	return out
+}
+
+// Key returns tuple t's key for the given join node. It fails if the
+// tuple's carrier leaf does not carry a column for that join, which
+// indicates a dataflow bug.
+func (ds *Dataset) Key(t Tuple, join *query.PlanNode) (int32, error) {
+	ld := ds.leaves[t.Leaf]
+	si, ok := ld.index[join]
+	if !ok {
+		return 0, fmt.Errorf("engine: leaf %s carries no key for the requested join",
+			ld.rel.Name)
+	}
+	return ld.keys[si][t.Row], nil
+}

@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+	"mdrs/internal/sched"
+	"mdrs/internal/vector"
+)
+
+// Engine executes a scheduled plan over a generated Dataset, metering
+// every clone's work against virtual resource clocks.
+type Engine struct {
+	Model   costmodel.Model
+	Overlap resource.Overlap
+	// Parallel runs each operator's clones on separate goroutines
+	// (results are merged in clone order, so output is deterministic
+	// either way).
+	Parallel bool
+}
+
+// Report summarizes one execution.
+type Report struct {
+	// ResultTuples is the cardinality of the query result.
+	ResultTuples int
+	// JoinResults maps each join ID to its observed result cardinality.
+	JoinResults map[int]int
+	// PhaseMeasured holds, per phase, the response time computed from
+	// the clones' actually metered work vectors via Equation 3.
+	PhaseMeasured []float64
+	// Measured is the end-to-end measured response (sum of phases).
+	Measured float64
+	// Predicted is the scheduler's analytic response for comparison.
+	Predicted float64
+}
+
+// cloneMeter accumulates one clone's actual resource usage.
+type cloneMeter struct {
+	work vector.Vector
+}
+
+func newMeter() *cloneMeter { return &cloneMeter{work: vector.New(resource.Dims)} }
+
+func (c *cloneMeter) addCPU(instr float64, p costmodel.Params) {
+	c.work[resource.CPU] += instr / (p.MIPS * 1e6)
+}
+func (c *cloneMeter) addDiskPages(pages int, p costmodel.Params) {
+	c.work[resource.Disk] += float64(pages) * p.DiskPageTime
+}
+func (c *cloneMeter) addNetTuples(tuples int, p costmodel.Params) {
+	c.work[resource.Net] += p.Beta * p.Bytes(tuples)
+}
+
+// Run executes the schedule over the dataset. The schedule must have
+// been produced for the same plan (the same *query.PlanNode) the dataset
+// was generated from.
+func (e Engine) Run(ds *Dataset, s *sched.Schedule) (*Report, error) {
+	if err := e.Model.Params.Validate(); err != nil {
+		return nil, err
+	}
+	// The schedule carries the operator tree; locate the root (the one
+	// operator with no consumer) and sanity-check coverage.
+	var root *plan.Operator
+	nOps := 0
+	for _, ph := range s.Phases {
+		for _, pl := range ph.Placements {
+			if pl.Op == nil {
+				return nil, fmt.Errorf("engine: schedule has a placement without an operator")
+			}
+			nOps++
+			if pl.Op.Consumer == nil {
+				if root != nil {
+					return nil, fmt.Errorf("engine: schedule has two root operators")
+				}
+				root = pl.Op
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("engine: schedule has no root operator")
+	}
+
+	rep := &Report{JoinResults: make(map[int]int), Predicted: s.Response}
+	outputs := make(map[*plan.Operator][]Tuple, nOps)
+	// tables[joinID][clone] is a partial hash table: join key -> rows.
+	tables := make(map[int][]map[int32][]Tuple)
+
+	for _, ph := range s.Phases {
+		sys := resource.NewSystem(s.P, resource.Dims, e.Overlap)
+		// Producers have smaller IDs than consumers (post-order
+		// expansion), so ID order is a valid pipeline topological order.
+		placements := append([]*sched.OpPlacement(nil), ph.Placements...)
+		for i := 0; i < len(placements); i++ {
+			for j := i + 1; j < len(placements); j++ {
+				if placements[j].Op.ID < placements[i].Op.ID {
+					placements[i], placements[j] = placements[j], placements[i]
+				}
+			}
+		}
+
+		for _, pl := range placements {
+			meters, err := e.runOperator(pl, ds, outputs, tables, rep)
+			if err != nil {
+				return nil, fmt.Errorf("engine: %s: %w", pl.Op.Name, err)
+			}
+			for k, m := range meters {
+				sys.Site(pl.Sites[k]).Assign(m.work)
+			}
+		}
+		t := sys.MaxTSite()
+		rep.PhaseMeasured = append(rep.PhaseMeasured, t)
+		rep.Measured += t
+	}
+
+	rep.ResultTuples = len(outputs[root])
+	want := root.Spec.ResultTuples
+	if want == 0 && root.Kind == costmodel.Scan {
+		want = root.Spec.InTuples
+	}
+	if rep.ResultTuples != want {
+		return nil, fmt.Errorf("engine: result cardinality %d != expected %d",
+			rep.ResultTuples, want)
+	}
+	return rep, nil
+}
+
+// runOperator executes one placed operator and returns its per-clone
+// meters (aligned with pl.Sites).
+func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
+	outputs map[*plan.Operator][]Tuple, tables map[int][]map[int32][]Tuple,
+	rep *Report) ([]*cloneMeter, error) {
+
+	n := pl.Degree
+	meters := make([]*cloneMeter, n)
+	for k := range meters {
+		meters[k] = newMeter()
+	}
+	p := e.Model.Params
+
+	// The coordinator (clone 0) pays the startup α·N, split evenly
+	// between CPU and network, exactly as the cost model plans it.
+	startup := p.Alpha * float64(n) / 2
+	meters[0].work[resource.CPU] += startup
+	meters[0].work[resource.Net] += startup
+
+	op := pl.Op
+	switch op.Kind {
+	case costmodel.Scan:
+		leafIdx, err := ds.LeafIndex(op.Source)
+		if err != nil {
+			return nil, err
+		}
+		all := ds.LeafTuples(leafIdx)
+		parts := splitContiguous(all, n)
+		out := make([][]Tuple, n)
+		e.eachClone(n, func(k int) error {
+			rows := parts[k]
+			pages := p.Pages(len(rows))
+			meters[k].addDiskPages(pages, p)
+			meters[k].addCPU(float64(pages)*p.ReadPageInstr+float64(len(rows))*p.ExtractInstr, p)
+			if op.Spec.NetOut {
+				meters[k].addNetTuples(len(rows), p)
+			}
+			out[k] = rows
+			return nil
+		})
+		outputs[op] = concat(out)
+
+	case costmodel.Build:
+		in := outputs[producerOf(op)]
+		parts, err := e.partitionByKey(ds, in, op.Source, n)
+		if err != nil {
+			return nil, err
+		}
+		partials := make([]map[int32][]Tuple, n)
+		err = e.eachClone(n, func(k int) error {
+			table := make(map[int32][]Tuple, len(parts[k]))
+			for _, t := range parts[k] {
+				key, err := ds.Key(t, op.Source)
+				if err != nil {
+					return err
+				}
+				table[key] = append(table[key], t)
+			}
+			if op.Spec.NetIn {
+				meters[k].addNetTuples(len(parts[k]), p)
+			}
+			meters[k].addCPU(float64(len(parts[k]))*(p.ExtractInstr+p.HashInstr), p)
+			partials[k] = table
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tables[op.JoinID] = partials
+		outputs[op] = nil // the table is the output; nothing streams on
+
+	case costmodel.Probe:
+		partials, ok := tables[op.JoinID]
+		if !ok {
+			return nil, fmt.Errorf("probing join %d before its build", op.JoinID)
+		}
+		if len(partials) != n {
+			return nil, fmt.Errorf("probe degree %d != build degree %d", n, len(partials))
+		}
+		in := outputs[producerOf(op)]
+		parts, err := e.partitionByKey(ds, in, op.Source, n)
+		if err != nil {
+			return nil, err
+		}
+		outerCarrier := OuterIsCarrier(op.Source)
+		out := make([][]Tuple, n)
+		counts := make([]int, n)
+		err = e.eachClone(n, func(k int) error {
+			var res []Tuple
+			for _, t := range parts[k] {
+				key, err := ds.Key(t, op.Source)
+				if err != nil {
+					return err
+				}
+				matches := partials[k][key]
+				if outerCarrier {
+					// Inner keys are unique: at most one match survives,
+					// and the outer tuple's identity carries on.
+					if len(matches) > 0 {
+						res = append(res, t)
+					}
+				} else {
+					res = append(res, matches...)
+				}
+			}
+			if op.Spec.NetIn {
+				meters[k].addNetTuples(len(parts[k]), p)
+			}
+			if op.Spec.NetOut {
+				meters[k].addNetTuples(len(res), p)
+			}
+			meters[k].addCPU(float64(len(parts[k]))*p.ProbeInstr+float64(len(res))*p.ExtractInstr, p)
+			out[k] = res
+			counts[k] = len(res)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		result := concat(out)
+		rep.JoinResults[op.JoinID] = len(result)
+		if len(result) != op.Spec.ResultTuples {
+			return nil, fmt.Errorf("join %d produced %d tuples, expected %d",
+				op.JoinID, len(result), op.Spec.ResultTuples)
+		}
+		outputs[op] = result
+
+	case costmodel.Store:
+		in := outputs[producerOf(op)]
+		parts := splitContiguous(in, n)
+		err := e.eachClone(n, func(k int) error {
+			pages := p.Pages(len(parts[k]))
+			meters[k].addDiskPages(pages, p)
+			meters[k].addCPU(float64(pages)*p.WritePageInstr, p)
+			if op.Spec.NetIn {
+				meters[k].addNetTuples(len(parts[k]), p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		outputs[op] = in // materialization preserves the stream
+
+	default:
+		return nil, fmt.Errorf("unsupported operator kind %v", op.Kind)
+	}
+	return meters, nil
+}
+
+// producerOf returns the operator whose pipelined output feeds op.
+func producerOf(op *plan.Operator) *plan.Operator {
+	// The expansion links producer -> consumer; find the pipeline
+	// producer by scanning the task's operators.
+	for _, cand := range op.Task.Ops {
+		if cand.Consumer == op && cand.ConsumerEdge == plan.Pipeline {
+			return cand
+		}
+	}
+	return nil
+}
+
+// partitionByKey hash-partitions tuples on their key for the given join
+// into n buckets — the exchange (repartitioning) operator of assumption
+// A5. Build and probe use the same function, so matching keys always
+// co-locate.
+func (e Engine) partitionByKey(ds *Dataset, in []Tuple, join *query.PlanNode, n int) ([][]Tuple, error) {
+	parts := make([][]Tuple, n)
+	for _, t := range in {
+		key, err := ds.Key(t, join)
+		if err != nil {
+			return nil, err
+		}
+		parts[partitionOf(key, n)] = append(parts[partitionOf(key, n)], t)
+	}
+	return parts, nil
+}
+
+// partitionOf maps a join key to a partition in [0, n) with a
+// multiplicative mix so that structured key sets still spread evenly.
+func partitionOf(key int32, n int) int {
+	h := uint32(key) * 2654435761 // Knuth's multiplicative hash constant
+	return int(h % uint32(n))
+}
+
+// splitContiguous divides tuples into n near-equal contiguous ranges,
+// the no-skew declustering of assumption EA1.
+func splitContiguous(all []Tuple, n int) [][]Tuple {
+	parts := make([][]Tuple, n)
+	base, extra := len(all)/n, len(all)%n
+	pos := 0
+	for k := 0; k < n; k++ {
+		sz := base
+		if k < extra {
+			sz++
+		}
+		parts[k] = all[pos : pos+sz]
+		pos += sz
+	}
+	return parts
+}
+
+func concat(parts [][]Tuple) []Tuple {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Tuple, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// eachClone runs fn for every clone index, in parallel when configured.
+// The first error wins.
+func (e Engine) eachClone(n int, fn func(k int) error) error {
+	if !e.Parallel || n == 1 {
+		for k := 0; k < n; k++ {
+			if err := fn(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = fn(k)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,947 @@
+// Package experiments regenerates every figure of the paper's
+// experimental evaluation (Section 6) plus the ablations listed in
+// DESIGN.md. Each figure function sweeps the paper's parameters over a
+// fixed, seeded workload of random bushy plans and reports average
+// response times, exactly as the paper does: twenty random queries per
+// size, 3-dimensional sites (CPU, disk, network interface), and the
+// Table 2 cost parameters.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"mdrs/internal/baseline"
+	"mdrs/internal/contention"
+	"mdrs/internal/costmodel"
+	"mdrs/internal/malleable"
+	"mdrs/internal/memsched"
+	"mdrs/internal/opt"
+	"mdrs/internal/optimizer"
+	"mdrs/internal/pipesim"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+	"mdrs/internal/sched"
+)
+
+// Config controls workload scale; the zero value is unusable — use
+// Default or Quick.
+type Config struct {
+	Model costmodel.Model
+	// Queries is the number of random plans averaged per data point
+	// (the paper uses 20).
+	Queries int
+	// Seed makes the workloads reproducible.
+	Seed int64
+	// Sites is the system-size sweep for figures with P on the x-axis.
+	Sites []int
+}
+
+// Default reproduces the paper's experimental scale: 20 queries per
+// point and system sizes 10–140.
+func Default() Config {
+	return Config{
+		Model:   costmodel.Default(),
+		Queries: 20,
+		Seed:    1996, // SIGMOD '96
+		Sites:   []int{10, 20, 40, 60, 80, 100, 120, 140},
+	}
+}
+
+// Quick is a scaled-down configuration for smoke tests and benchmarks.
+func Quick() Config {
+	return Config{
+		Model:   costmodel.Default(),
+		Queries: 4,
+		Seed:    1996,
+		Sites:   []int{10, 40, 80, 140},
+	}
+}
+
+// Validate reports the first nonsensical configuration field.
+func (c Config) Validate() error {
+	if err := c.Model.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Queries <= 0 {
+		return fmt.Errorf("experiments: non-positive query count %d", c.Queries)
+	}
+	if len(c.Sites) == 0 {
+		return fmt.Errorf("experiments: empty site sweep")
+	}
+	for _, p := range c.Sites {
+		if p <= 0 {
+			return fmt.Errorf("experiments: non-positive site count %d", p)
+		}
+	}
+	return nil
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a regenerated table/figure: named series over a shared
+// x-axis meaning.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// workload returns the fixed plan set for a query size. All figures
+// share plans for a given (seed, joins), so curves are comparable.
+func (c Config) workload(joins int) ([]*plan.TaskTree, error) {
+	r := rand.New(rand.NewSource(c.Seed + int64(joins)))
+	plans, err := query.Workload(r, query.DefaultGenConfig(joins), c.Queries)
+	if err != nil {
+		return nil, err
+	}
+	trees := make([]*plan.TaskTree, len(plans))
+	for i, p := range plans {
+		ot, err := plan.Expand(p)
+		if err != nil {
+			return nil, err
+		}
+		trees[i], err = plan.NewTaskTree(ot)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return trees, nil
+}
+
+// avgTree returns the mean TreeSchedule response over the workload.
+func (c Config) avgTree(trees []*plan.TaskTree, p int, eps, f float64) (float64, error) {
+	ts := sched.TreeScheduler{
+		Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
+	}
+	sum := 0.0
+	for _, tt := range trees {
+		s, err := ts.Schedule(tt)
+		if err != nil {
+			return 0, err
+		}
+		sum += s.Response
+	}
+	return sum / float64(len(trees)), nil
+}
+
+// avgSync returns the mean SYNCHRONOUS response over the workload.
+func (c Config) avgSync(trees []*plan.TaskTree, p int, eps float64) (float64, error) {
+	b := baseline.Synchronous{Model: c.Model, Overlap: resource.MustOverlap(eps), P: p}
+	sum := 0.0
+	for _, tt := range trees {
+		s, err := b.Schedule(tt)
+		if err != nil {
+			return 0, err
+		}
+		sum += s.Response
+	}
+	return sum / float64(len(trees)), nil
+}
+
+// avgBound returns the mean OPTBOUND over the workload.
+func (c Config) avgBound(trees []*plan.TaskTree, p int, eps, f float64) (float64, error) {
+	ov := resource.MustOverlap(eps)
+	sum := 0.0
+	for _, tt := range trees {
+		b, err := opt.Bound(tt, c.Model, ov, p, f)
+		if err != nil {
+			return 0, err
+		}
+		sum += b
+	}
+	return sum / float64(len(trees)), nil
+}
+
+// Fig5a regenerates Figure 5(a): the effect of the granularity
+// parameter f on TREESCHEDULE for 40-join queries at 30% resource
+// overlap, against SYNCHRONOUS (which f does not affect).
+func Fig5a(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps = 40, 0.3
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "5a",
+		Title:  fmt.Sprintf("Effect of granularity parameter f (%d joins, ε = %.1f)", joins, eps),
+		XLabel: "sites",
+		YLabel: "avg response time (s)",
+	}
+	for _, f := range []float64{0.3, 0.5, 0.7, 0.9} {
+		s := Series{Name: fmt.Sprintf("TreeSchedule f=%.1f", f)}
+		for _, p := range c.Sites {
+			y, err := c.avgTree(trees, p, eps, f)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(p))
+			s.Y = append(s.Y, y)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	s := Series{Name: "Synchronous"}
+	for _, p := range c.Sites {
+		y, err := c.avgSync(trees, p, eps)
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, float64(p))
+		s.Y = append(s.Y, y)
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// Fig5b regenerates Figure 5(b): the effect of the resource overlap
+// parameter ε on both algorithms, with f fixed at 0.7 (40-join queries).
+func Fig5b(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, f = 40, 0.7
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "5b",
+		Title:  fmt.Sprintf("Effect of resource overlap ε (%d joins, f = %.1f)", joins, f),
+		XLabel: "sites",
+		YLabel: "avg response time (s)",
+	}
+	for _, eps := range []float64{0.1, 0.3, 0.5, 0.7} {
+		st := Series{Name: fmt.Sprintf("TreeSchedule ε=%.1f", eps)}
+		ss := Series{Name: fmt.Sprintf("Synchronous ε=%.1f", eps)}
+		for _, p := range c.Sites {
+			yt, err := c.avgTree(trees, p, eps, f)
+			if err != nil {
+				return nil, err
+			}
+			ys, err := c.avgSync(trees, p, eps)
+			if err != nil {
+				return nil, err
+			}
+			st.X = append(st.X, float64(p))
+			st.Y = append(st.Y, yt)
+			ss.X = append(ss.X, float64(p))
+			ss.Y = append(ss.Y, ys)
+		}
+		fig.Series = append(fig.Series, st, ss)
+	}
+	return fig, nil
+}
+
+// Fig6a regenerates Figure 6(a): the effect of query size for two
+// system sizes (20 and 80 sites) at ε = 0.5, f = 0.7.
+func Fig6a(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const eps, f = 0.5, 0.7
+	joinsSweep := []int{10, 20, 30, 40, 50}
+	fig := &Figure{
+		ID:     "6a",
+		Title:  "Effect of query size (ε = 0.5, f = 0.7)",
+		XLabel: "joins",
+		YLabel: "avg response time (s)",
+	}
+	for _, p := range []int{20, 80} {
+		st := Series{Name: fmt.Sprintf("TreeSchedule P=%d", p)}
+		ss := Series{Name: fmt.Sprintf("Synchronous P=%d", p)}
+		for _, joins := range joinsSweep {
+			trees, err := c.workload(joins)
+			if err != nil {
+				return nil, err
+			}
+			yt, err := c.avgTree(trees, p, eps, f)
+			if err != nil {
+				return nil, err
+			}
+			ys, err := c.avgSync(trees, p, eps)
+			if err != nil {
+				return nil, err
+			}
+			st.X = append(st.X, float64(joins))
+			st.Y = append(st.Y, yt)
+			ss.X = append(ss.X, float64(joins))
+			ss.Y = append(ss.Y, ys)
+		}
+		fig.Series = append(fig.Series, st, ss)
+	}
+	return fig, nil
+}
+
+// Fig6b regenerates Figure 6(b): average TREESCHEDULE performance
+// against the OPTBOUND lower bound on the optimal CG_f execution, for
+// 20- and 40-join queries (f = 0.7, ε = 0.5). A ratio series per query
+// size makes the near-optimality immediately readable.
+func Fig6b(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const eps, f = 0.5, 0.7
+	fig := &Figure{
+		ID:     "6b",
+		Title:  "TreeSchedule vs optimal lower bound (f = 0.7, ε = 0.5)",
+		XLabel: "sites",
+		YLabel: "avg response time (s); ratio series unitless",
+	}
+	for _, joins := range []int{20, 40} {
+		trees, err := c.workload(joins)
+		if err != nil {
+			return nil, err
+		}
+		st := Series{Name: fmt.Sprintf("TreeSchedule %dJ", joins)}
+		sb := Series{Name: fmt.Sprintf("OptBound %dJ", joins)}
+		sr := Series{Name: fmt.Sprintf("ratio %dJ", joins)}
+		for _, p := range c.Sites {
+			yt, err := c.avgTree(trees, p, eps, f)
+			if err != nil {
+				return nil, err
+			}
+			yb, err := c.avgBound(trees, p, eps, f)
+			if err != nil {
+				return nil, err
+			}
+			st.X = append(st.X, float64(p))
+			st.Y = append(st.Y, yt)
+			sb.X = append(sb.X, float64(p))
+			sb.Y = append(sb.Y, yb)
+			sr.X = append(sr.X, float64(p))
+			sr.Y = append(sr.Y, yt/yb)
+		}
+		fig.Series = append(fig.Series, st, sb, sr)
+	}
+	return fig, nil
+}
+
+// Malleable regenerates ablation A1: the Section 7 malleable scheduler
+// against the CG_f parallelization rule on sets of independent
+// operators (one set per workload plan: the floating operators of its
+// first phase).
+func Malleable(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f = 20, 0.5, 0.7
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "malleable",
+		Title:  fmt.Sprintf("Malleable (Section 7) vs CG_f parallelization (%d joins, ε = %.1f, f = %.1f)", joins, eps, f),
+		XLabel: "sites",
+		YLabel: "avg response time of first phase (s)",
+	}
+	sm := Series{Name: "Malleable GF"}
+	sc := Series{Name: fmt.Sprintf("CoarseGrain f=%.1f", f)}
+	sl := Series{Name: "LB of chosen N"}
+	for _, p := range c.Sites {
+		ms := malleable.Scheduler{Model: c.Model, Overlap: resource.MustOverlap(eps), P: p}
+		var sumM, sumC, sumL float64
+		for _, tt := range trees {
+			ops := firstPhaseOperators(c.Model, tt)
+			resM, err := ms.Schedule(ops)
+			if err != nil {
+				return nil, err
+			}
+			resC, err := ms.ScheduleFixed(ops, ms.CoarseGrainParallelization(ops, f))
+			if err != nil {
+				return nil, err
+			}
+			sumM += resM.Schedule.Response
+			sumC += resC.Schedule.Response
+			sumL += resM.LB
+		}
+		q := float64(len(trees))
+		sm.X = append(sm.X, float64(p))
+		sm.Y = append(sm.Y, sumM/q)
+		sc.X = append(sc.X, float64(p))
+		sc.Y = append(sc.Y, sumC/q)
+		sl.X = append(sl.X, float64(p))
+		sl.Y = append(sl.Y, sumL/q)
+	}
+	fig.Series = append(fig.Series, sm, sc, sl)
+	return fig, nil
+}
+
+// firstPhaseOperators extracts the first phase's operators of a task
+// tree as independent malleable operators.
+func firstPhaseOperators(m costmodel.Model, tt *plan.TaskTree) []malleable.Operator {
+	var ops []malleable.Operator
+	for _, tk := range tt.Phases()[0] {
+		for _, op := range tk.Ops {
+			ops = append(ops, malleable.Operator{ID: op.ID, Cost: m.Cost(op.Spec)})
+		}
+	}
+	return ops
+}
+
+// OrderAblation regenerates ablation A5: the value of the
+// non-increasing l(w̄) list order. It compares OperatorSchedule with the
+// paper's LPT-style order against the same packing rule fed in raw
+// operator order, on the first phase of each workload plan.
+func OrderAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f = 40, 0.5, 0.7
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	ov := resource.MustOverlap(eps)
+	fig := &Figure{
+		ID:     "order",
+		Title:  "List-order ablation: sorted vs arrival order (first phase)",
+		XLabel: "sites",
+		YLabel: "avg response time (s)",
+	}
+	sSorted := Series{Name: "sorted (paper)"}
+	sRaw := Series{Name: "arrival order"}
+	for _, p := range c.Sites {
+		var sumS, sumR float64
+		for _, tt := range trees {
+			ops := firstPhaseSchedOps(c.Model, ov, tt, p, f)
+			rs, err := sched.OperatorSchedule(p, resource.Dims, ov, ops)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := sched.OperatorScheduleUnordered(p, resource.Dims, ov, ops)
+			if err != nil {
+				return nil, err
+			}
+			sumS += rs.Response
+			sumR += rr.Response
+		}
+		q := float64(len(trees))
+		sSorted.X = append(sSorted.X, float64(p))
+		sSorted.Y = append(sSorted.Y, sumS/q)
+		sRaw.X = append(sRaw.X, float64(p))
+		sRaw.Y = append(sRaw.Y, sumR/q)
+	}
+	fig.Series = append(fig.Series, sSorted, sRaw)
+	return fig, nil
+}
+
+// firstPhaseSchedOps builds the sched.Op set of a tree's first phase
+// with CG_f degrees.
+func firstPhaseSchedOps(m costmodel.Model, ov resource.Overlap, tt *plan.TaskTree, p int, f float64) []*sched.Op {
+	var ops []*sched.Op
+	for _, tk := range tt.Phases()[0] {
+		for _, op := range tk.Ops {
+			c := m.Cost(op.Spec)
+			n := m.Degree(c, f, p, ov)
+			ops = append(ops, &sched.Op{ID: op.ID, Clones: m.Clones(c, n)})
+		}
+	}
+	return ops
+}
+
+// ShelfAblation regenerates ablation A7: the MinShelf (paper) phase
+// policy against the EarliestShelf alternative, under TreeSchedule.
+func ShelfAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f = 30, 0.5, 0.7
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "shelf",
+		Title:  fmt.Sprintf("Phase policy ablation: MinShelf vs EarliestShelf (%d joins, ε = %.1f, f = %.1f)", joins, eps, f),
+		XLabel: "sites",
+		YLabel: "avg response time (s)",
+	}
+	sMin := Series{Name: "MinShelf (paper)"}
+	sEarly := Series{Name: "EarliestShelf"}
+	for _, p := range c.Sites {
+		var sumMin, sumEarly float64
+		for _, tt := range trees {
+			base := sched.TreeScheduler{
+				Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
+			}
+			sm, err := base.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			base.Policy = plan.EarliestShelf
+			se, err := base.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			sumMin += sm.Response
+			sumEarly += se.Response
+		}
+		q := float64(len(trees))
+		sMin.X = append(sMin.X, float64(p))
+		sMin.Y = append(sMin.Y, sumMin/q)
+		sEarly.X = append(sEarly.X, float64(p))
+		sEarly.Y = append(sEarly.Y, sumEarly/q)
+	}
+	fig.Series = append(fig.Series, sMin, sEarly)
+	return fig, nil
+}
+
+// ContentionAblation regenerates ablation A8: the cost of assumption
+// A2's free time-sharing when disks share poorly (γ on the disk
+// dimension), and how much a penalty-aware evaluation recovers.
+func ContentionAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f = 20, 0.5, 0.7
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	ov := resource.MustOverlap(eps)
+	fig := &Figure{
+		ID:     "contention",
+		Title:  fmt.Sprintf("Disk time-sharing penalty (%d joins, ε = %.1f, f = %.1f)", joins, eps, f),
+		XLabel: "sites",
+		YLabel: "avg response time (s)",
+	}
+	gammas := []float64{0, 0.1, 0.3}
+	series := make([]Series, len(gammas))
+	for i, g := range gammas {
+		series[i] = Series{Name: fmt.Sprintf("TreeSchedule @ γ_disk=%.1f", g)}
+	}
+	for _, p := range c.Sites {
+		sums := make([]float64, len(gammas))
+		for _, tt := range trees {
+			s, err := sched.TreeScheduler{Model: c.Model, Overlap: ov, P: p, F: f}.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			for i, g := range gammas {
+				r, err := contention.EvalSchedule(ov, contention.DiskOnly(resource.Dims, g), s)
+				if err != nil {
+					return nil, err
+				}
+				sums[i] += r
+			}
+		}
+		q := float64(len(trees))
+		for i := range gammas {
+			series[i].X = append(series[i].X, float64(p))
+			series[i].Y = append(series[i].Y, sums[i]/q)
+		}
+	}
+	fig.Series = append(fig.Series, series...)
+	return fig, nil
+}
+
+// MemoryAblation regenerates ablation A9: response time of the
+// memory-aware TreeSchedule (internal/memsched) as per-site memory
+// shrinks from infinite (assumption A1) to 1 MB.
+func MemoryAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f, p = 20, 0.5, 0.7, 32
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "memory",
+		Title:  fmt.Sprintf("Memory-aware scheduling (%d joins, P = %d, ε = %.1f, f = %.1f)", joins, p, eps, f),
+		XLabel: "per-site memory (MB)",
+		YLabel: "avg response time (s); spill series in MB",
+	}
+	caps := []float64{1, 2, 4, 8, 16, 64, math.Inf(1)}
+	sResp := Series{Name: "response"}
+	sSpill := Series{Name: "spilled (MB)"}
+	for _, mb := range caps {
+		s := memsched.Scheduler{
+			Model: c.Model, Overlap: resource.MustOverlap(eps),
+			P: p, F: f, MemoryBytes: mb * (1 << 20),
+		}
+		if math.IsInf(mb, 1) {
+			s.MemoryBytes = math.Inf(1)
+		}
+		var sumResp, sumSpill float64
+		for _, tt := range trees {
+			res, err := s.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			sumResp += res.Response
+			sumSpill += res.TotalSpilledBytes
+		}
+		q := float64(len(trees))
+		x := mb
+		if math.IsInf(mb, 1) {
+			x = 1024 // plot the A1 point at the right edge
+		}
+		sResp.X = append(sResp.X, x)
+		sResp.Y = append(sResp.Y, sumResp/q)
+		sSpill.X = append(sSpill.X, x)
+		sSpill.Y = append(sSpill.Y, sumSpill/q/(1<<20))
+	}
+	fig.Series = append(fig.Series, sResp, sSpill)
+	return fig, nil
+}
+
+// ShapeAblation regenerates ablation A10: TreeSchedule and Synchronous
+// across plan shapes (random bushy, left-deep, right-deep, balanced) at
+// fixed query size — the bushy-vs-deep debate of the paper's related
+// work, priced under the multi-dimensional model.
+func ShapeAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f, p = 20, 0.5, 0.7, 40
+	fig := &Figure{
+		ID:     "shape",
+		Title:  fmt.Sprintf("Plan shape ablation (%d joins, P = %d, ε = %.1f, f = %.1f)", joins, p, eps, f),
+		XLabel: "shape (0=bushy 1=left-deep 2=right-deep 3=balanced)",
+		YLabel: "avg response time (s)",
+	}
+	shapes := []query.Shape{query.RandomBushy, query.LeftDeep, query.RightDeep, query.Balanced}
+	st := Series{Name: "TreeSchedule"}
+	ss := Series{Name: "Synchronous"}
+	for xi, shape := range shapes {
+		r := rand.New(rand.NewSource(c.Seed + int64(joins)))
+		var sumT, sumS float64
+		for q := 0; q < c.Queries; q++ {
+			pl, err := query.RandomShaped(r, query.DefaultGenConfig(joins), shape)
+			if err != nil {
+				return nil, err
+			}
+			tt, err := plan.NewTaskTree(plan.MustExpand(pl))
+			if err != nil {
+				return nil, err
+			}
+			sTree, err := sched.TreeScheduler{
+				Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
+			}.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			sSync, err := baseline.Synchronous{
+				Model: c.Model, Overlap: resource.MustOverlap(eps), P: p,
+			}.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			sumT += sTree.Response
+			sumS += sSync.Response
+		}
+		q := float64(c.Queries)
+		st.X = append(st.X, float64(xi))
+		st.Y = append(st.Y, sumT/q)
+		ss.X = append(ss.X, float64(xi))
+		ss.Y = append(ss.Y, sumS/q)
+	}
+	fig.Series = append(fig.Series, st, ss)
+	return fig, nil
+}
+
+// PlanSearchAblation regenerates ablation A11: two-phase optimization
+// (schedule the first random plan) against the scheduler-in-the-loop
+// best-of-K search of internal/optimizer.
+func PlanSearchAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f, k = 15, 0.5, 0.7, 8
+	fig := &Figure{
+		ID:     "plansearch",
+		Title:  fmt.Sprintf("Scheduler-in-the-loop plan search, best of %d (%d joins, ε = %.1f, f = %.1f)", k, joins, eps, f),
+		XLabel: "sites",
+		YLabel: "avg response time (s)",
+	}
+	sFirst := Series{Name: "first plan (two-phase)"}
+	sBest := Series{Name: fmt.Sprintf("best of %d", k)}
+	for _, p := range c.Sites {
+		search := optimizer.Search{
+			Model: c.Model, Overlap: resource.MustOverlap(eps),
+			P: p, F: f, Candidates: k,
+		}
+		r := rand.New(rand.NewSource(c.Seed + int64(p)))
+		var sumFirst, sumBest float64
+		for q := 0; q < c.Queries; q++ {
+			rels, err := optimizer.RandomRelations(r, joins+1, 1_000, 100_000)
+			if err != nil {
+				return nil, err
+			}
+			res, err := search.Best(r, rels)
+			if err != nil {
+				return nil, err
+			}
+			sumFirst += res.Candidates[0].Schedule.Response
+			sumBest += res.Best.Schedule.Response
+		}
+		q := float64(c.Queries)
+		sFirst.X = append(sFirst.X, float64(p))
+		sFirst.Y = append(sFirst.Y, sumFirst/q)
+		sBest.X = append(sBest.X, float64(p))
+		sBest.Y = append(sBest.Y, sumBest/q)
+	}
+	fig.Series = append(fig.Series, sFirst, sBest)
+	return fig, nil
+}
+
+// PipelineAblation regenerates ablation A12: the error of the paper's
+// "pipelines are just concurrency" abstraction, measured by replaying
+// TreeSchedule schedules through the explicit dataflow simulator of
+// internal/pipesim.
+func PipelineAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f = 15, 0.5, 0.7
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	ov := resource.MustOverlap(eps)
+	fig := &Figure{
+		ID:     "pipeline",
+		Title:  fmt.Sprintf("Pipeline-abstraction error (%d joins, ε = %.1f, f = %.1f)", joins, eps, f),
+		XLabel: "sites",
+		YLabel: "avg response time (s); ratio series unitless",
+	}
+	sa := Series{Name: "analytic (Eq. 3)"}
+	sp := Series{Name: "pipeline dataflow sim"}
+	sr := Series{Name: "ratio"}
+	for _, p := range c.Sites {
+		var sumA, sumP float64
+		for _, tt := range trees {
+			s, err := sched.TreeScheduler{Model: c.Model, Overlap: ov, P: p, F: f}.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			res, err := pipesim.Simulate(ov, s, pipesim.Config{Steps: 400})
+			if err != nil {
+				return nil, err
+			}
+			sumA += res.Analytic
+			sumP += res.Simulated
+		}
+		q := float64(len(trees))
+		sa.X = append(sa.X, float64(p))
+		sa.Y = append(sa.Y, sumA/q)
+		sp.X = append(sp.X, float64(p))
+		sp.Y = append(sp.Y, sumP/q)
+		sr.X = append(sr.X, float64(p))
+		sr.Y = append(sr.Y, sumP/sumA)
+	}
+	fig.Series = append(fig.Series, sa, sp, sr)
+	return fig, nil
+}
+
+// BatchAblation regenerates ablation A13: scheduling a batch of Q
+// independent queries together (inter-query resource sharing) against
+// running them back to back.
+func BatchAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f, batch = 10, 0.5, 0.7, 4
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "batch",
+		Title:  fmt.Sprintf("Multi-query batches of %d (%d joins each, ε = %.1f, f = %.1f)", batch, joins, eps, f),
+		XLabel: "sites",
+		YLabel: "avg makespan of one batch (s)",
+	}
+	sSerial := Series{Name: "back-to-back"}
+	sBatch := Series{Name: fmt.Sprintf("batched (%d queries)", batch)}
+	for _, p := range c.Sites {
+		ts := sched.TreeScheduler{
+			Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
+		}
+		var sumSerial, sumBatch float64
+		groups := 0
+		for start := 0; start+batch <= len(trees); start += batch {
+			group := trees[start : start+batch]
+			serial := 0.0
+			for _, tt := range group {
+				s, err := ts.Schedule(tt)
+				if err != nil {
+					return nil, err
+				}
+				serial += s.Response
+			}
+			b, err := ts.ScheduleBatch(group)
+			if err != nil {
+				return nil, err
+			}
+			sumSerial += serial
+			sumBatch += b.Response
+			groups++
+		}
+		if groups == 0 {
+			return nil, fmt.Errorf("experiments: need at least %d queries for the batch ablation", batch)
+		}
+		q := float64(groups)
+		sSerial.X = append(sSerial.X, float64(p))
+		sSerial.Y = append(sSerial.Y, sumSerial/q)
+		sBatch.X = append(sBatch.X, float64(p))
+		sBatch.Y = append(sBatch.Y, sumBatch/q)
+	}
+	fig.Series = append(fig.Series, sSerial, sBatch)
+	return fig, nil
+}
+
+// DeclusterAblation regenerates ablation A14: the cost of data
+// placement constraints — base relations pre-declustered at random
+// homes (rooted scans) against scheduler-chosen scan placement.
+func DeclusterAblation(c Config) (*Figure, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	const joins, eps, f = 20, 0.5, 0.7
+	trees, err := c.workload(joins)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "decluster",
+		Title:  fmt.Sprintf("Rooted (pre-declustered) vs floating scans (%d joins, ε = %.1f, f = %.1f)", joins, eps, f),
+		XLabel: "sites",
+		YLabel: "avg response time (s)",
+	}
+	sFloat := Series{Name: "floating scans"}
+	sRooted := Series{Name: "declustered scans"}
+	for _, p := range c.Sites {
+		ts := sched.TreeScheduler{
+			Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
+		}
+		r := rand.New(rand.NewSource(c.Seed + int64(p)))
+		var sumFloat, sumRooted float64
+		for _, tt := range trees {
+			sf, err := ts.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			homes, err := ts.RandomDeclustering(r, tt)
+			if err != nil {
+				return nil, err
+			}
+			rooted := ts
+			rooted.Homes = homes
+			sr, err := rooted.Schedule(tt)
+			if err != nil {
+				return nil, err
+			}
+			sumFloat += sf.Response
+			sumRooted += sr.Response
+		}
+		q := float64(len(trees))
+		sFloat.X = append(sFloat.X, float64(p))
+		sFloat.Y = append(sFloat.Y, sumFloat/q)
+		sRooted.X = append(sRooted.X, float64(p))
+		sRooted.Y = append(sRooted.Y, sumRooted/q)
+	}
+	fig.Series = append(fig.Series, sFloat, sRooted)
+	return fig, nil
+}
+
+// Table2 renders the experiment parameter settings, mirroring the
+// paper's Table 2 from the live defaults.
+func Table2(c Config) string {
+	p := c.Model.Params
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Experiment Parameter Settings\n")
+	fmt.Fprintf(&b, "  %-40s %v\n", "Number of Sites", c.Sites)
+	fmt.Fprintf(&b, "  %-40s %g MIPS\n", "CPU Speed", p.MIPS)
+	fmt.Fprintf(&b, "  %-40s %g msec\n", "Effective Disk Service Time per page", p.DiskPageTime*1e3)
+	fmt.Fprintf(&b, "  %-40s %g msec\n", "Startup Cost per site (alpha)", p.Alpha*1e3)
+	fmt.Fprintf(&b, "  %-40s %g usec\n", "Network Transfer Cost per byte (beta)", p.Beta*1e6)
+	fmt.Fprintf(&b, "  %-40s %d bytes\n", "Tuple Size", p.TupleBytes)
+	fmt.Fprintf(&b, "  %-40s %d tuples\n", "Page Size", p.PageTuples)
+	fmt.Fprintf(&b, "  %-40s 10^3 - 10^5 tuples\n", "Relation Size")
+	fmt.Fprintf(&b, "  %-40s %g\n", "Read Page from Disk (instr)", p.ReadPageInstr)
+	fmt.Fprintf(&b, "  %-40s %g\n", "Write Page to Disk (instr)", p.WritePageInstr)
+	fmt.Fprintf(&b, "  %-40s %g\n", "Extract Tuple (instr)", p.ExtractInstr)
+	fmt.Fprintf(&b, "  %-40s %g\n", "Hash Tuple (instr)", p.HashInstr)
+	fmt.Fprintf(&b, "  %-40s %g\n", "Probe Hash Table (instr)", p.ProbeInstr)
+	return b.String()
+}
+
+// WriteCSV renders a figure as RFC-4180 CSV — one row per x-value, one
+// column per series — for plotting tools.
+func WriteCSV(w io.Writer, fig *Figure) error {
+	cw := csv.NewWriter(w)
+	header := []string{fig.XLabel}
+	for _, s := range fig.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(fig.Series) > 0 {
+		for i := range fig.Series[0].X {
+			row := []string{strconv.FormatFloat(fig.Series[0].X[i], 'g', -1, 64)}
+			for _, s := range fig.Series {
+				if i < len(s.Y) {
+					row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText renders a figure as an aligned text table: one row per
+// x-value, one column per series.
+func WriteText(w io.Writer, fig *Figure) error {
+	if _, err := fmt.Fprintf(w, "Figure %s: %s\n", fig.ID, fig.Title); err != nil {
+		return err
+	}
+	if len(fig.Series) == 0 {
+		_, err := fmt.Fprintln(w, "  (no series)")
+		return err
+	}
+	fmt.Fprintf(w, "%12s", fig.XLabel)
+	for _, s := range fig.Series {
+		fmt.Fprintf(w, "  %22s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for i := range fig.Series[0].X {
+		fmt.Fprintf(w, "%12g", fig.Series[0].X[i])
+		for _, s := range fig.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(w, "  %22.3f", s.Y[i])
+			} else {
+				fmt.Fprintf(w, "  %22s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,78 @@
+package malleable
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdrs/internal/costmodel"
+)
+
+func TestCandidatesSingleSite(t *testing.T) {
+	// P = 1: the family is exactly the all-ones parallelization.
+	s := testScheduler(1, 0.5)
+	ops := randomOperators(rand.New(rand.NewSource(1)), 4)
+	family, err := s.Candidates(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(family) != 1 {
+		t.Fatalf("family size = %d, want 1", len(family))
+	}
+	for _, n := range family[0] {
+		if n != 1 {
+			t.Fatalf("P=1 candidate = %v", family[0])
+		}
+	}
+}
+
+func TestCandidatesSingleOperator(t *testing.T) {
+	// One operator: the family walks its degree from 1 to P.
+	s := testScheduler(6, 0.5)
+	ops := randomOperators(rand.New(rand.NewSource(2)), 1)
+	family, err := s.Candidates(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(family) != 6 {
+		t.Fatalf("family size = %d, want 6", len(family))
+	}
+	for k, cand := range family {
+		if cand[0] != k+1 {
+			t.Fatalf("candidate %d = %v", k, cand)
+		}
+	}
+}
+
+func TestParallelizationClone(t *testing.T) {
+	n := Parallelization{1, 2, 3}
+	c := n.Clone()
+	c[0] = 99
+	if n[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestLBEmptyOperators(t *testing.T) {
+	s := testScheduler(4, 0.5)
+	if got := s.LB(nil, nil); got != 0 {
+		t.Fatalf("LB(empty) = %g", got)
+	}
+}
+
+func TestHeterogeneousSizesGetHeterogeneousDegrees(t *testing.T) {
+	// A huge and a tiny operator: the selected parallelization must give
+	// the huge one strictly more sites.
+	m := costmodel.Default()
+	s := testScheduler(12, 0.5)
+	ops := []Operator{
+		{ID: 0, Cost: m.Cost(costmodel.OpSpec{Kind: costmodel.Scan, InTuples: 100000, NetOut: true})},
+		{ID: 1, Cost: m.Cost(costmodel.OpSpec{Kind: costmodel.Scan, InTuples: 1000, NetOut: true})},
+	}
+	n, _, err := s.Select(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n[0] <= n[1] {
+		t.Fatalf("selected N = %v: big op not favored", n)
+	}
+}

@@ -1,0 +1,199 @@
+// Package opt provides the optimality references used in the paper's
+// evaluation and in this repository's test suite:
+//
+//   - Bound computes OPTBOUND (Section 6.2), the lower bound on the
+//     response time of the optimal CG_f execution that Figure 6(b)
+//     compares TREESCHEDULE against; and
+//   - Exhaustive and ExhaustiveMalleable compute true optima for tiny
+//     instances by brute force, used to validate the Theorem 5.1 and
+//     Theorem 7.1 performance-ratio guarantees empirically.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/malleable"
+	"mdrs/internal/plan"
+	"mdrs/internal/resource"
+	"mdrs/internal/sched"
+	"mdrs/internal/vector"
+)
+
+// Bound computes
+//
+//	OPTBOUND = max{ l(S)/P, T(CP) }
+//
+// where S is the set of zero-communication work vectors of all plan
+// operators (so l(S)/P is the perfectly balanced congestion bound) and
+// T(CP) is the response time of the critical path: the most expensive
+// root-to-leaf chain of blocking-dependent tasks, each task costed at
+// the maximum allowable degree of coarse-grain parallelism for its
+// operators. By assumption A4 this is a valid lower bound on the length
+// of any CG_f execution.
+func Bound(tt *plan.TaskTree, m costmodel.Model, ov resource.Overlap, p int, f float64) (float64, error) {
+	if err := tt.Validate(); err != nil {
+		return 0, err
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("opt: non-positive site count %d", p)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("opt: negative granularity parameter %g", f)
+	}
+
+	// Congestion bound: total zero-communication work per resource,
+	// spread perfectly over P sites.
+	total := vector.New(resource.Dims)
+	// Per-task cost: the slowest operator at its best CG_f degree.
+	taskTime := make(map[*plan.Task]float64, len(tt.Tasks))
+	for _, tk := range tt.Tasks {
+		worst := 0.0
+		for _, op := range tk.Ops {
+			c := m.Cost(op.Spec)
+			total.AddInPlace(c.Processing)
+			n := m.Degree(c, f, p, ov)
+			if t := m.TPar(c, n, ov); t > worst {
+				worst = t
+			}
+		}
+		taskTime[tk] = worst
+	}
+	congestion := total.Length() / float64(p)
+
+	// Critical path over the task tree: children must complete before
+	// their parent starts, so path times add.
+	var critical func(tk *plan.Task) float64
+	critical = func(tk *plan.Task) float64 {
+		deepest := 0.0
+		for _, c := range tk.Children {
+			if t := critical(c); t > deepest {
+				deepest = t
+			}
+		}
+		return taskTime[tk] + deepest
+	}
+	cp := critical(tt.Root)
+
+	return math.Max(congestion, cp), nil
+}
+
+// Exhaustive finds the response time of the optimal assignment of the
+// given operators (with their fixed clone vectors) to p d-dimensional
+// sites, subject to Definition 5.1's constraints, by exhaustive
+// branch-and-bound. Rooted operators are honored. The search is
+// exponential in the total clone count; callers must keep instances
+// tiny (≲ 10 clones).
+func Exhaustive(p, d int, ov resource.Overlap, ops []*sched.Op) (float64, error) {
+	// Validate via a throwaway heuristic run, which also gives an upper
+	// bound that seeds the branch-and-bound.
+	heur, err := sched.OperatorSchedule(p, d, ov, ops)
+	if err != nil {
+		return 0, err
+	}
+	best := heur.Response
+
+	type cloneRef struct {
+		op *sched.Op
+		k  int
+	}
+	var clones []cloneRef
+	sys := resource.NewSystem(p, d, ov)
+	usedBy := make(map[*sched.Op]map[int]bool, len(ops))
+	for _, op := range ops {
+		usedBy[op] = map[int]bool{}
+		if op.Rooted() {
+			for k, s := range op.Home {
+				sys.Site(s).Assign(op.Clones[k])
+				usedBy[op][s] = true
+			}
+			continue
+		}
+		for k := range op.Clones {
+			clones = append(clones, cloneRef{op: op, k: k})
+		}
+	}
+
+	var rec func(i int, cur float64)
+	rec = func(i int, cur float64) {
+		if cur >= best-1e-15 {
+			return // prune: partial makespan already no better
+		}
+		if i == len(clones) {
+			best = cur
+			return
+		}
+		c := clones[i]
+		for j := 0; j < p; j++ {
+			if usedBy[c.op][j] {
+				continue
+			}
+			site := sys.Site(j)
+			// Snapshot-free trial: recompute the site's T^site after
+			// adding, recursing with an updated running makespan.
+			prevClones := site.NumClones()
+			site.Assign(c.op.Clones[c.k])
+			usedBy[c.op][j] = true
+			next := cur
+			if t := site.TSite(); t > next {
+				next = t
+			}
+			rec(i+1, next)
+			usedBy[c.op][j] = false
+			// Rebuild the site without the last clone (Site has no
+			// remove; reconstruct from the retained slice).
+			old := append([]vector.Vector(nil), site.Clones()[:prevClones]...)
+			site.Reset()
+			for _, w := range old {
+				site.Assign(w)
+			}
+		}
+	}
+	rec(0, sys.MaxTSite())
+	return best, nil
+}
+
+// ExhaustiveMalleable finds the optimal response time over all
+// parallelizations and all assignments for a set of malleable floating
+// operators: the unconstrained optimum of Section 7. Complexity is
+// O(P^M) parallelizations times an exhaustive packing each; instances
+// must be tiny.
+func ExhaustiveMalleable(p int, ov resource.Overlap, m costmodel.Model, ops []malleable.Operator) (float64, error) {
+	if len(ops) == 0 {
+		return 0, fmt.Errorf("opt: no operators")
+	}
+	if p <= 0 {
+		return 0, fmt.Errorf("opt: non-positive site count %d", p)
+	}
+	degrees := make([]int, len(ops))
+	for i := range degrees {
+		degrees[i] = 1
+	}
+	best := math.Inf(1)
+	for {
+		schedOps := make([]*sched.Op, len(ops))
+		for i, op := range ops {
+			schedOps[i] = &sched.Op{ID: op.ID, Clones: m.Clones(op.Cost, degrees[i])}
+		}
+		opt, err := Exhaustive(p, resource.Dims, ov, schedOps)
+		if err != nil {
+			return 0, err
+		}
+		if opt < best {
+			best = opt
+		}
+		// Next parallelization in mixed-radix order.
+		i := 0
+		for ; i < len(degrees); i++ {
+			if degrees[i] < p {
+				degrees[i]++
+				break
+			}
+			degrees[i] = 1
+		}
+		if i == len(degrees) {
+			return best, nil
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package optimizer closes the loop the paper's introduction opens:
+// parallelization is "usually the result of an earlier phase of
+// conventional centralized query optimization", i.e. two-phase
+// optimization, where the plan is fixed before the scheduler sees it.
+// This package implements the natural scheduler-in-the-loop refinement:
+// sample several join orders (plans) over the same database, schedule
+// each with TreeSchedule, and keep the plan whose *scheduled parallel
+// response time* — not a centralized cost estimate — is smallest.
+//
+// The measured gap between "schedule the first random plan" and
+// "best-of-K" quantifies how much response time two-phase optimization
+// leaves on the table for the multi-dimensional scheduler to recover.
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+	"mdrs/internal/sched"
+)
+
+// Search configures a best-of-K plan search.
+type Search struct {
+	Model   costmodel.Model
+	Overlap resource.Overlap
+	// P is the number of system sites.
+	P int
+	// F is the coarse-granularity parameter.
+	F float64
+	// Candidates is the number of random plans sampled (K). Defaults to
+	// 8 when zero.
+	Candidates int
+	// Shapes restricts the sampled plan shapes; nil means all four.
+	Shapes []query.Shape
+}
+
+// Validate reports the first nonsensical configuration field.
+func (s Search) Validate() error {
+	if err := s.Model.Params.Validate(); err != nil {
+		return err
+	}
+	if s.P <= 0 {
+		return fmt.Errorf("optimizer: non-positive site count %d", s.P)
+	}
+	if s.F < 0 {
+		return fmt.Errorf("optimizer: negative granularity parameter %g", s.F)
+	}
+	if s.Candidates < 0 {
+		return fmt.Errorf("optimizer: negative candidate count %d", s.Candidates)
+	}
+	return nil
+}
+
+func (s Search) candidates() int {
+	if s.Candidates == 0 {
+		return 8
+	}
+	return s.Candidates
+}
+
+func (s Search) shapes() []query.Shape {
+	if len(s.Shapes) > 0 {
+		return s.Shapes
+	}
+	return []query.Shape{query.RandomBushy, query.LeftDeep, query.RightDeep, query.Balanced}
+}
+
+// Candidate is one sampled and scheduled plan.
+type Candidate struct {
+	Plan     *query.PlanNode
+	Shape    query.Shape
+	Schedule *sched.Schedule
+}
+
+// Result of a search: the winner plus every candidate, in sampling
+// order (Candidates[0] is the "two-phase" strawman: the first plan
+// drawn).
+type Result struct {
+	Best       Candidate
+	Candidates []Candidate
+}
+
+// Improvement returns first-candidate response / best response: how
+// much the scheduler-in-the-loop search won over scheduling the first
+// random plan.
+func (r *Result) Improvement() float64 {
+	if len(r.Candidates) == 0 || r.Best.Schedule.Response == 0 {
+		return 1
+	}
+	return r.Candidates[0].Schedule.Response / r.Best.Schedule.Response
+}
+
+// Best samples plans over the given relations and returns the one whose
+// TreeSchedule response is smallest.
+func (s Search) Best(r *rand.Rand, rels []*query.Relation) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	ts := sched.TreeScheduler{Model: s.Model, Overlap: s.Overlap, P: s.P, F: s.F}
+	shapes := s.shapes()
+	out := &Result{}
+	for k := 0; k < s.candidates(); k++ {
+		shape := shapes[k%len(shapes)]
+		p, err := query.PlanOver(r, rels, shape)
+		if err != nil {
+			return nil, err
+		}
+		tt, err := plan.NewTaskTree(plan.MustExpand(p))
+		if err != nil {
+			return nil, err
+		}
+		sc, err := ts.Schedule(tt)
+		if err != nil {
+			return nil, err
+		}
+		cand := Candidate{Plan: p, Shape: shape, Schedule: sc}
+		out.Candidates = append(out.Candidates, cand)
+		if out.Best.Schedule == nil || sc.Response < out.Best.Schedule.Response {
+			out.Best = cand
+		}
+	}
+	return out, nil
+}
+
+// RandomRelations draws a relation set in the paper's cardinality range.
+func RandomRelations(r *rand.Rand, count, minTuples, maxTuples int) ([]*query.Relation, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("optimizer: non-positive relation count %d", count)
+	}
+	if minTuples <= 0 || maxTuples < minTuples {
+		return nil, fmt.Errorf("optimizer: bad cardinality range [%d, %d]", minTuples, maxTuples)
+	}
+	rels := make([]*query.Relation, count)
+	for i := range rels {
+		rels[i] = &query.Relation{
+			Name:   fmt.Sprintf("R%d", i),
+			Tuples: minTuples + r.Intn(maxTuples-minTuples+1),
+		}
+	}
+	return rels, nil
+}

@@ -1,0 +1,194 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+)
+
+func testSearch(p, k int) Search {
+	return Search{
+		Model:      costmodel.Default(),
+		Overlap:    resource.MustOverlap(0.5),
+		P:          p,
+		F:          0.7,
+		Candidates: k,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testSearch(8, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Search{
+		{Model: costmodel.Default(), P: 0, F: 0.7},
+		{Model: costmodel.Default(), P: 4, F: -1},
+		{Model: costmodel.Default(), P: 4, F: 0.7, Candidates: -1},
+		{P: 4, F: 0.7},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRandomRelations(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	rels, err := RandomRelations(r, 11, 1000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 11 {
+		t.Fatalf("count = %d", len(rels))
+	}
+	for _, rel := range rels {
+		if rel.Tuples < 1000 || rel.Tuples > 100000 {
+			t.Fatalf("%s size %d out of range", rel.Name, rel.Tuples)
+		}
+	}
+	if _, err := RandomRelations(r, 0, 1, 2); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := RandomRelations(r, 2, 5, 4); err == nil {
+		t.Error("bad range accepted")
+	}
+}
+
+func TestBestNeverWorseThanFirstCandidate(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		rels, err := RandomRelations(r, 13, 1000, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := testSearch(16, 8).Best(r, rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Candidates) != 8 {
+			t.Fatalf("candidates = %d", len(res.Candidates))
+		}
+		for _, c := range res.Candidates {
+			if res.Best.Schedule.Response > c.Schedule.Response {
+				t.Fatalf("best %g beaten by candidate %g",
+					res.Best.Schedule.Response, c.Schedule.Response)
+			}
+		}
+		if res.Improvement() < 1 {
+			t.Fatalf("improvement %g < 1", res.Improvement())
+		}
+	}
+}
+
+func TestSearchCoversShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	rels, err := RandomRelations(r, 9, 1000, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := testSearch(8, 8).Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[query.Shape]bool{}
+	for _, c := range res.Candidates {
+		seen[c.Shape] = true
+		if got := c.Plan.Joins(); got != 8 {
+			t.Fatalf("candidate has %d joins, want 8", got)
+		}
+		if err := c.Plan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []query.Shape{query.RandomBushy, query.LeftDeep, query.RightDeep, query.Balanced} {
+		if !seen[s] {
+			t.Fatalf("shape %v never sampled", s)
+		}
+	}
+}
+
+func TestShapeRestriction(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	rels, err := RandomRelations(r, 7, 1000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSearch(8, 5)
+	s.Shapes = []query.Shape{query.RightDeep}
+	res, err := s.Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Candidates {
+		if c.Shape != query.RightDeep {
+			t.Fatalf("shape %v sampled despite restriction", c.Shape)
+		}
+	}
+}
+
+func TestDefaultCandidateCount(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	rels, err := RandomRelations(r, 5, 1000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := testSearch(4, 0).Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 8 {
+		t.Fatalf("default candidates = %d, want 8", len(res.Candidates))
+	}
+}
+
+func TestDeepShapesBehaveAsExpected(t *testing.T) {
+	// Right-deep plans serialize phases: on a wide system they should
+	// schedule no better than the best-of shapes; the search must
+	// therefore rarely pick RightDeep as best with many sites. Rather
+	// than assert a stochastic claim, check the structural effect: a
+	// right-deep plan's schedule has J+1 phases, a left-deep plan's 2.
+	r := rand.New(rand.NewSource(17))
+	rels, err := RandomRelations(r, 7, 1000, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSearch(16, 2)
+
+	s.Shapes = []query.Shape{query.RightDeep}
+	deep, err := s.Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(deep.Best.Schedule.Phases); got != 7 {
+		t.Fatalf("right-deep phases = %d, want 7 (J+1 for J=6... the chain has J tasks plus the root)", got)
+	}
+
+	s.Shapes = []query.Shape{query.LeftDeep}
+	flat, err := s.Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(flat.Best.Schedule.Phases); got != 2 {
+		t.Fatalf("left-deep phases = %d, want 2", got)
+	}
+}
+
+func BenchmarkBestOf8(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rels, err := RandomRelations(r, 11, 1000, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := testSearch(16, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Best(r, rels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

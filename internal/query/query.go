@@ -1,0 +1,342 @@
+// Package query models join queries and their bushy execution plans,
+// and generates the random workloads of the paper's experimental
+// evaluation (Section 6.1).
+//
+// The experiments use tree queries of 10–50 joins over base relations
+// of 10³–10⁵ tuples, with simple key joins whose result size always
+// equals the size of the larger operand. For each query size the paper
+// draws twenty random query trees and, for each, a random bushy
+// execution plan; Random reproduces that by sampling a uniformly shaped
+// random bushy binary join tree with randomized build/probe sides.
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Relation is a base relation of the catalog.
+type Relation struct {
+	Name   string `json:"name"`
+	Tuples int    `json:"tuples"`
+}
+
+// PlanNode is a node of a bushy hash-join execution plan. A node is
+// either a leaf over a base relation or a join whose Inner (build side)
+// and Outer (probe side) children produce its operands.
+type PlanNode struct {
+	// Relation is non-nil exactly for leaves.
+	Relation *Relation `json:"relation,omitempty"`
+	// Outer is the probe-side child; Inner is the build-side child.
+	// Both are nil exactly for leaves.
+	Outer *PlanNode `json:"outer,omitempty"`
+	Inner *PlanNode `json:"inner,omitempty"`
+	// Tuples is the node's output cardinality: the relation size for a
+	// leaf, and max(|Outer|, |Inner|) for a simple key join.
+	Tuples int `json:"tuples"`
+}
+
+// IsLeaf reports whether the node is a base-relation leaf.
+func (n *PlanNode) IsLeaf() bool { return n.Relation != nil }
+
+// Joins returns the number of join (internal) nodes in the subtree.
+func (n *PlanNode) Joins() int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	return 1 + n.Outer.Joins() + n.Inner.Joins()
+}
+
+// Leaves returns the base relations of the subtree in left-to-right
+// (outer-first) order.
+func (n *PlanNode) Leaves() []*Relation {
+	if n == nil {
+		return nil
+	}
+	if n.IsLeaf() {
+		return []*Relation{n.Relation}
+	}
+	return append(n.Outer.Leaves(), n.Inner.Leaves()...)
+}
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+func (n *PlanNode) Depth() int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	o, i := n.Outer.Depth(), n.Inner.Depth()
+	if i > o {
+		o = i
+	}
+	return 1 + o
+}
+
+// Validate checks structural well-formedness: every node is either a
+// leaf with a positive-cardinality relation or a join with two children,
+// and join cardinalities obey the simple-key-join rule
+// |J| = max(|Outer|, |Inner|).
+func (n *PlanNode) Validate() error {
+	if n == nil {
+		return errors.New("query: nil plan node")
+	}
+	if n.IsLeaf() {
+		if n.Outer != nil || n.Inner != nil {
+			return fmt.Errorf("query: leaf %q has children", n.Relation.Name)
+		}
+		if n.Relation.Tuples <= 0 {
+			return fmt.Errorf("query: relation %q has non-positive cardinality %d",
+				n.Relation.Name, n.Relation.Tuples)
+		}
+		if n.Tuples != n.Relation.Tuples {
+			return fmt.Errorf("query: leaf %q cardinality %d != relation cardinality %d",
+				n.Relation.Name, n.Tuples, n.Relation.Tuples)
+		}
+		return nil
+	}
+	if n.Outer == nil || n.Inner == nil {
+		return errors.New("query: join node missing a child")
+	}
+	if err := n.Outer.Validate(); err != nil {
+		return err
+	}
+	if err := n.Inner.Validate(); err != nil {
+		return err
+	}
+	want := n.Outer.Tuples
+	if n.Inner.Tuples > want {
+		want = n.Inner.Tuples
+	}
+	if n.Tuples != want {
+		return fmt.Errorf("query: join cardinality %d != max(%d, %d)",
+			n.Tuples, n.Outer.Tuples, n.Inner.Tuples)
+	}
+	return nil
+}
+
+// GenConfig configures random plan generation.
+type GenConfig struct {
+	// Joins is the number of join nodes; the plan has Joins+1 leaves.
+	Joins int
+	// MinTuples and MaxTuples bound the base-relation cardinalities
+	// (inclusive). The paper uses 10³–10⁵.
+	MinTuples, MaxTuples int
+}
+
+// DefaultGenConfig returns the paper's workload settings for the given
+// number of joins.
+func DefaultGenConfig(joins int) GenConfig {
+	return GenConfig{Joins: joins, MinTuples: 1_000, MaxTuples: 100_000}
+}
+
+// Validate reports the first nonsensical generation setting.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.Joins < 0:
+		return fmt.Errorf("query: negative join count %d", c.Joins)
+	case c.MinTuples <= 0:
+		return fmt.Errorf("query: MinTuples = %d, must be positive", c.MinTuples)
+	case c.MaxTuples < c.MinTuples:
+		return fmt.Errorf("query: MaxTuples = %d < MinTuples = %d", c.MaxTuples, c.MinTuples)
+	}
+	return nil
+}
+
+// Random generates a random bushy plan: a uniformly split binary tree
+// shape over Joins+1 leaves, uniform relation sizes in
+// [MinTuples, MaxTuples], and join cardinalities per the simple key-join
+// rule. The generator is fully deterministic given r's state.
+func Random(r *rand.Rand, cfg GenConfig) (*PlanNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	next := 0
+	n := build(r, cfg, cfg.Joins+1, &next)
+	return n, nil
+}
+
+// MustRandom is Random that panics on a bad configuration.
+func MustRandom(r *rand.Rand, cfg GenConfig) *PlanNode {
+	n, err := Random(r, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func build(r *rand.Rand, cfg GenConfig, leaves int, next *int) *PlanNode {
+	if leaves == 1 {
+		size := cfg.MinTuples + r.Intn(cfg.MaxTuples-cfg.MinTuples+1)
+		rel := &Relation{Name: fmt.Sprintf("R%d", *next), Tuples: size}
+		*next++
+		return &PlanNode{Relation: rel, Tuples: size}
+	}
+	// Uniform split of the leaf budget; each side gets at least one.
+	left := 1 + r.Intn(leaves-1)
+	a := build(r, cfg, left, next)
+	b := build(r, cfg, leaves-left, next)
+	// Randomize which operand is the build (inner) side.
+	if r.Intn(2) == 0 {
+		a, b = b, a
+	}
+	t := a.Tuples
+	if b.Tuples > t {
+		t = b.Tuples
+	}
+	return &PlanNode{Outer: a, Inner: b, Tuples: t}
+}
+
+// Shape selects the execution-plan tree shape to generate. The paper's
+// evaluation uses random bushy plans; the deep shapes reproduce the
+// alternatives its related-work section discusses (right-deep trees of
+// Schneider, left-deep trees of classical optimizers).
+type Shape int
+
+const (
+	// RandomBushy draws a uniformly split random binary tree.
+	RandomBushy Shape = iota
+	// LeftDeep chains joins along the outer (probe) side: every inner
+	// operand is a base relation, so all build pipelines are independent
+	// and the task tree is flat (maximal independent parallelism).
+	LeftDeep
+	// RightDeep chains joins along the inner (build) side: every probe
+	// feeds the next join's build, so tasks serialize into a chain of
+	// phases (maximal pipelining, no independent parallelism).
+	RightDeep
+	// Balanced splits the leaf budget evenly at every join.
+	Balanced
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case LeftDeep:
+		return "left-deep"
+	case RightDeep:
+		return "right-deep"
+	case Balanced:
+		return "balanced"
+	default:
+		return "random-bushy"
+	}
+}
+
+// RandomShaped generates a plan of the given shape with random relation
+// sizes in the configured range.
+func RandomShaped(r *rand.Rand, cfg GenConfig, shape Shape) (*PlanNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rels := make([]*Relation, cfg.Joins+1)
+	for i := range rels {
+		size := cfg.MinTuples + r.Intn(cfg.MaxTuples-cfg.MinTuples+1)
+		rels[i] = &Relation{Name: fmt.Sprintf("R%d", i), Tuples: size}
+	}
+	return PlanOver(r, rels, shape)
+}
+
+// PlanOver builds a plan of the given shape over the provided relations
+// (in order for the deep shapes; randomly split for the bushy ones).
+// Use it to compare different plan shapes or join orders over one
+// database, as internal/optimizer does.
+func PlanOver(r *rand.Rand, rels []*Relation, shape Shape) (*PlanNode, error) {
+	if len(rels) == 0 {
+		return nil, errors.New("query: no relations")
+	}
+	for _, rel := range rels {
+		if rel == nil || rel.Tuples <= 0 {
+			return nil, errors.New("query: invalid relation")
+		}
+	}
+	leafNode := func(rel *Relation) *PlanNode {
+		return &PlanNode{Relation: rel, Tuples: rel.Tuples}
+	}
+	joinNode := func(outer, inner *PlanNode) *PlanNode {
+		t := outer.Tuples
+		if inner.Tuples > t {
+			t = inner.Tuples
+		}
+		return &PlanNode{Outer: outer, Inner: inner, Tuples: t}
+	}
+	switch shape {
+	case LeftDeep:
+		n := leafNode(rels[0])
+		for _, rel := range rels[1:] {
+			n = joinNode(n, leafNode(rel))
+		}
+		return n, nil
+	case RightDeep:
+		n := leafNode(rels[len(rels)-1])
+		for i := len(rels) - 2; i >= 0; i-- {
+			n = joinNode(leafNode(rels[i]), n)
+		}
+		return n, nil
+	case Balanced:
+		var build func(rs []*Relation) *PlanNode
+		build = func(rs []*Relation) *PlanNode {
+			if len(rs) == 1 {
+				return leafNode(rs[0])
+			}
+			mid := len(rs) / 2
+			return joinNode(build(rs[:mid]), build(rs[mid:]))
+		}
+		return build(rels), nil
+	default: // RandomBushy over the given relations, shuffled
+		shuffled := append([]*Relation(nil), rels...)
+		r.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		var build func(rs []*Relation) *PlanNode
+		build = func(rs []*Relation) *PlanNode {
+			if len(rs) == 1 {
+				return leafNode(rs[0])
+			}
+			split := 1 + r.Intn(len(rs)-1)
+			a, b := build(rs[:split]), build(rs[split:])
+			if r.Intn(2) == 0 {
+				a, b = b, a
+			}
+			return joinNode(a, b)
+		}
+		return build(shuffled), nil
+	}
+}
+
+// Workload generates count independent random plans of the same size,
+// the unit of averaging in the paper's experiments (20 plans per query
+// size).
+func Workload(r *rand.Rand, cfg GenConfig, count int) ([]*PlanNode, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("query: non-positive workload count %d", count)
+	}
+	plans := make([]*PlanNode, count)
+	for i := range plans {
+		p, err := Random(r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+	return plans, nil
+}
+
+// Encode renders the plan as indented JSON.
+func (n *PlanNode) Encode() ([]byte, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(n, "", "  ")
+}
+
+// Decode parses a JSON plan and validates it.
+func Decode(data []byte) (*PlanNode, error) {
+	var n PlanNode
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("query: decoding plan: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}

@@ -1,0 +1,374 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func leaf(name string, tuples int) *PlanNode {
+	return &PlanNode{Relation: &Relation{Name: name, Tuples: tuples}, Tuples: tuples}
+}
+
+func join(outer, inner *PlanNode) *PlanNode {
+	t := outer.Tuples
+	if inner.Tuples > t {
+		t = inner.Tuples
+	}
+	return &PlanNode{Outer: outer, Inner: inner, Tuples: t}
+}
+
+func TestLeafProperties(t *testing.T) {
+	l := leaf("R0", 5000)
+	if !l.IsLeaf() || l.Joins() != 0 || l.Depth() != 0 {
+		t.Fatalf("leaf properties wrong: %+v", l)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinProperties(t *testing.T) {
+	p := join(join(leaf("A", 100), leaf("B", 300)), leaf("C", 200))
+	if p.IsLeaf() {
+		t.Fatal("join reported as leaf")
+	}
+	if got := p.Joins(); got != 2 {
+		t.Fatalf("Joins = %d, want 2", got)
+	}
+	if got := p.Depth(); got != 2 {
+		t.Fatalf("Depth = %d, want 2", got)
+	}
+	if got := p.Tuples; got != 300 {
+		t.Fatalf("root cardinality = %d, want 300 (max rule)", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, r := range p.Leaves() {
+		names = append(names, r.Name)
+	}
+	if len(names) != 3 || names[0] != "A" || names[1] != "B" || names[2] != "C" {
+		t.Fatalf("Leaves = %v", names)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *PlanNode
+	}{
+		{"nil", nil},
+		{"zero-cardinality relation", leaf("R", 0)},
+		{"leaf/relation mismatch", &PlanNode{Relation: &Relation{Name: "R", Tuples: 5}, Tuples: 6}},
+		{"join missing child", &PlanNode{Outer: leaf("A", 1), Tuples: 1}},
+		{"wrong join cardinality", &PlanNode{Outer: leaf("A", 10), Inner: leaf("B", 20), Tuples: 10}},
+		{"leaf with children", &PlanNode{
+			Relation: &Relation{Name: "R", Tuples: 5}, Tuples: 5, Outer: leaf("A", 1),
+		}},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	if err := DefaultGenConfig(10).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GenConfig{
+		{Joins: -1, MinTuples: 1, MaxTuples: 2},
+		{Joins: 1, MinTuples: 0, MaxTuples: 2},
+		{Joins: 1, MinTuples: 5, MaxTuples: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := Random(rand.New(rand.NewSource(1)), c); err == nil {
+			t.Errorf("case %d: Random accepted", i)
+		}
+	}
+}
+
+func TestDefaultGenConfigMatchesPaper(t *testing.T) {
+	c := DefaultGenConfig(40)
+	if c.Joins != 40 || c.MinTuples != 1000 || c.MaxTuples != 100000 {
+		t.Fatalf("DefaultGenConfig = %+v", c)
+	}
+}
+
+func TestRandomShape(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, joins := range []int{0, 1, 5, 10, 40, 50} {
+		p := MustRandom(r, DefaultGenConfig(joins))
+		if got := p.Joins(); got != joins {
+			t.Fatalf("Joins = %d, want %d", got, joins)
+		}
+		if got := len(p.Leaves()); got != joins+1 {
+			t.Fatalf("leaves = %d, want %d", got, joins+1)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated plan invalid: %v", err)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	p1 := MustRandom(rand.New(rand.NewSource(99)), DefaultGenConfig(20))
+	p2 := MustRandom(rand.New(rand.NewSource(99)), DefaultGenConfig(20))
+	b1, err := p1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("same seed produced different plans")
+	}
+}
+
+func TestRandomRelationSizesInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cfg := GenConfig{Joins: 30, MinTuples: 500, MaxTuples: 600}
+	p := MustRandom(r, cfg)
+	for _, rel := range p.Leaves() {
+		if rel.Tuples < 500 || rel.Tuples > 600 {
+			t.Fatalf("relation %s size %d outside [500, 600]", rel.Name, rel.Tuples)
+		}
+	}
+}
+
+func TestRandomUniqueRelationNames(t *testing.T) {
+	p := MustRandom(rand.New(rand.NewSource(5)), DefaultGenConfig(25))
+	seen := map[string]bool{}
+	for _, rel := range p.Leaves() {
+		if seen[rel.Name] {
+			t.Fatalf("duplicate relation name %s", rel.Name)
+		}
+		seen[rel.Name] = true
+	}
+}
+
+func TestRandomProducesBushyShapes(t *testing.T) {
+	// Over many draws of 10-join plans we must see at least one plan that
+	// is neither left-deep nor right-deep (i.e. truly bushy) and a spread
+	// of depths.
+	r := rand.New(rand.NewSource(11))
+	bushy := false
+	depths := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		p := MustRandom(r, DefaultGenConfig(10))
+		depths[p.Depth()] = true
+		if !p.Outer.IsLeaf() && !p.Inner.IsLeaf() {
+			bushy = true
+		}
+	}
+	if !bushy {
+		t.Fatal("no bushy plan in 50 draws")
+	}
+	if len(depths) < 2 {
+		t.Fatalf("no shape variety: depths %v", depths)
+	}
+}
+
+func TestWorkload(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ps, err := Workload(r, DefaultGenConfig(10), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 20 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	if _, err := Workload(r, DefaultGenConfig(10), 0); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := Workload(r, GenConfig{Joins: 1}, 5); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	want := map[Shape]string{
+		RandomBushy: "random-bushy",
+		LeftDeep:    "left-deep",
+		RightDeep:   "right-deep",
+		Balanced:    "balanced",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+}
+
+func TestRandomShapedStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	cfg := DefaultGenConfig(6)
+
+	ld, err := RandomShaped(r, cfg, LeftDeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left-deep: every inner child is a leaf; depth = number of joins.
+	for n := ld; !n.IsLeaf(); n = n.Outer {
+		if !n.Inner.IsLeaf() {
+			t.Fatal("left-deep plan has a non-leaf inner child")
+		}
+	}
+	if ld.Depth() != 6 {
+		t.Fatalf("left-deep depth = %d, want 6", ld.Depth())
+	}
+
+	rd, err := RandomShaped(r, cfg, RightDeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := rd; !n.IsLeaf(); n = n.Inner {
+		if !n.Outer.IsLeaf() {
+			t.Fatal("right-deep plan has a non-leaf outer child")
+		}
+	}
+
+	bal, err := RandomShaped(r, cfg, Balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bal.Depth(); got != 3 {
+		t.Fatalf("balanced depth = %d, want 3 (7 leaves)", got)
+	}
+
+	for _, p := range []*PlanNode{ld, rd, bal} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Joins() != 6 {
+			t.Fatalf("joins = %d", p.Joins())
+		}
+	}
+}
+
+func TestRandomShapedRejectsBadConfig(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := RandomShaped(r, GenConfig{Joins: 2}, LeftDeep); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPlanOverValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := PlanOver(r, nil, LeftDeep); err == nil {
+		t.Error("empty relation set accepted")
+	}
+	if _, err := PlanOver(r, []*Relation{{Name: "R", Tuples: 0}}, LeftDeep); err == nil {
+		t.Error("zero-cardinality relation accepted")
+	}
+	if _, err := PlanOver(r, []*Relation{nil}, Balanced); err == nil {
+		t.Error("nil relation accepted")
+	}
+}
+
+func TestPlanOverSingleRelation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, shape := range []Shape{RandomBushy, LeftDeep, RightDeep, Balanced} {
+		p, err := PlanOver(r, []*Relation{{Name: "R", Tuples: 42}}, shape)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if !p.IsLeaf() || p.Tuples != 42 {
+			t.Fatalf("%v: got %+v", shape, p)
+		}
+	}
+}
+
+func TestPlanOverPreservesRelationSet(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	rels := []*Relation{
+		{Name: "A", Tuples: 10}, {Name: "B", Tuples: 20},
+		{Name: "C", Tuples: 30}, {Name: "D", Tuples: 40},
+	}
+	for _, shape := range []Shape{RandomBushy, LeftDeep, RightDeep, Balanced} {
+		p, err := PlanOver(r, rels, shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, rel := range p.Leaves() {
+			got[rel.Name] = true
+		}
+		if len(got) != 4 {
+			t.Fatalf("%v: leaves = %v", shape, got)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := MustRandom(rand.New(rand.NewSource(2)), DefaultGenConfig(15))
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Joins() != p.Joins() || q.Tuples != p.Tuples {
+		t.Fatalf("round trip changed plan: %d/%d joins, %d/%d tuples",
+			q.Joins(), p.Joins(), q.Tuples, p.Tuples)
+	}
+	d2, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d2) != string(data) {
+		t.Fatal("round trip not idempotent")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := Decode([]byte(`{"tuples": 5}`)); err == nil {
+		t.Fatal("structurally invalid plan accepted")
+	}
+}
+
+func TestEncodeRejectsInvalidPlan(t *testing.T) {
+	if _, err := leaf("R", -1).Encode(); err == nil {
+		t.Fatal("invalid plan encoded")
+	}
+}
+
+// Property: for any seed and join count, generation yields a valid plan
+// with the right number of joins and cardinalities obeying the max rule
+// everywhere.
+func TestQuickRandomAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		joins := r.Intn(50)
+		p := MustRandom(r, DefaultGenConfig(joins))
+		return p.Validate() == nil && p.Joins() == joins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRandom40Joins(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	cfg := DefaultGenConfig(40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MustRandom(r, cfg)
+	}
+}

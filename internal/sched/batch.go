@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/plan"
+	"mdrs/internal/resource"
+)
+
+// ScheduleBatch schedules several independent queries as one workload:
+// phase i of every query executes in global phase i, so operators of
+// different queries time-share sites exactly like operators of
+// independent tasks within one query. This extends the paper's
+// resource-sharing argument across query boundaries — the batch
+// makespan is typically well below the sum of the queries' individual
+// response times, because one query's idle resources absorb another's
+// load.
+//
+// Blocking constraints are preserved per query (each query's own phase
+// order is kept); queries with fewer phases simply stop contributing to
+// later global phases.
+func (ts TreeScheduler) ScheduleBatch(trees []*plan.TaskTree) (*Schedule, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("sched: empty batch")
+	}
+	perTree := make([][][]*plan.Task, len(trees))
+	maxPhases := 0
+	for i, tt := range trees {
+		if err := tt.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: batch query %d: %w", i, err)
+		}
+		perTree[i] = tt.PhasesBy(ts.Policy)
+		if len(perTree[i]) > maxPhases {
+			maxPhases = len(perTree[i])
+		}
+	}
+
+	// Operator IDs are dense per tree; offset them so they stay unique
+	// within one OperatorSchedule call.
+	offsets := make([]int, len(trees))
+	next := 0
+	for i, tt := range trees {
+		offsets[i] = next
+		for _, tk := range tt.Tasks {
+			next += len(tk.Ops)
+		}
+	}
+
+	out := &Schedule{P: ts.P}
+	homes := make(map[*plan.Operator][]int)
+	for phaseIdx := 0; phaseIdx < maxPhases; phaseIdx++ {
+		var ops []*Op
+		var tasks []*plan.Task
+		placements := make(map[int]*OpPlacement)
+		for i := range trees {
+			if phaseIdx >= len(perTree[i]) {
+				continue
+			}
+			for _, tk := range perTree[i][phaseIdx] {
+				tasks = append(tasks, tk)
+				for _, p := range tk.Ops {
+					op, pl, err := ts.prepare(p, homes)
+					if err != nil {
+						return nil, fmt.Errorf("sched: batch phase %d: %w", phaseIdx, err)
+					}
+					op.ID += offsets[i]
+					ops = append(ops, op)
+					placements[op.ID] = pl
+				}
+			}
+		}
+		res, err := OperatorSchedule(ts.P, resource.Dims, ts.Overlap, ops)
+		if err != nil {
+			return nil, fmt.Errorf("sched: batch phase %d: %w", phaseIdx, err)
+		}
+		ph := &PhaseSchedule{Index: phaseIdx, Tasks: tasks, Response: res.Response}
+		for _, op := range ops {
+			pl := placements[op.ID]
+			pl.Sites = res.Sites[op.ID]
+			homes[pl.Op] = pl.Sites
+			ph.Placements = append(ph.Placements, pl)
+		}
+		out.Phases = append(out.Phases, ph)
+		out.Response += ph.Response
+	}
+	return out, nil
+}
+
+// RandomDeclustering fixes every base-relation scan of a task tree at a
+// random home — the shared-nothing situation where relations are
+// pre-partitioned across sites and the scheduler has no say in scan
+// placement (rooted operators, constraint (B) of Section 5.3). The home
+// size is the scan's CG_f degree, its sites a random subset.
+//
+// The returned map plugs into TreeScheduler.Homes.
+func (ts TreeScheduler) RandomDeclustering(r *rand.Rand, tt *plan.TaskTree) (map[int][]int, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tt.Validate(); err != nil {
+		return nil, err
+	}
+	homes := make(map[int][]int)
+	for _, tk := range tt.Tasks {
+		for _, op := range tk.Ops {
+			if op.Kind != costmodel.Scan {
+				continue
+			}
+			cost := ts.Model.Cost(op.Spec)
+			n := ts.Model.Degree(cost, ts.F, ts.P, ts.Overlap)
+			perm := r.Perm(ts.P)
+			homes[op.ID] = append([]int(nil), perm[:n]...)
+		}
+	}
+	return homes, nil
+}

@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+)
+
+func batchTrees(t *testing.T, seeds ...int64) []*plan.TaskTree {
+	t.Helper()
+	trees := make([]*plan.TaskTree, len(seeds))
+	for i, seed := range seeds {
+		r := rand.New(rand.NewSource(seed))
+		p := query.MustRandom(r, query.DefaultGenConfig(8))
+		trees[i] = plan.MustNewTaskTree(plan.MustExpand(p))
+	}
+	return trees
+}
+
+func TestScheduleBatchValidation(t *testing.T) {
+	ts := testScheduler(8, 0.5, 0.7)
+	if _, err := ts.ScheduleBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	bad := ts
+	bad.P = 0
+	if _, err := bad.ScheduleBatch(batchTrees(t, 1)); err == nil {
+		t.Error("invalid scheduler accepted")
+	}
+}
+
+func TestScheduleBatchSingleMatchesSchedule(t *testing.T) {
+	ts := testScheduler(12, 0.5, 0.7)
+	trees := batchTrees(t, 5)
+	single, err := ts.Schedule(trees[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ts.ScheduleBatch(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(single.Response-batch.Response) > 1e-9 {
+		t.Fatalf("batch of one %g != single %g", batch.Response, single.Response)
+	}
+}
+
+func TestScheduleBatchSharesResources(t *testing.T) {
+	// The whole point: scheduling Q queries together must beat running
+	// them back to back, because phases share sites across queries.
+	ts := testScheduler(24, 0.5, 0.7)
+	trees := batchTrees(t, 1, 2, 3, 4)
+	serial := 0.0
+	for _, tt := range trees {
+		s, err := ts.Schedule(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial += s.Response
+	}
+	batch, err := ts.ScheduleBatch(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Response >= serial {
+		t.Fatalf("batch %g not better than serial %g", batch.Response, serial)
+	}
+}
+
+func TestScheduleBatchPlacesEveryOperatorOnce(t *testing.T) {
+	ts := testScheduler(10, 0.4, 0.7)
+	trees := batchTrees(t, 7, 8, 9)
+	batch, err := ts.ScheduleBatch(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tt := range trees {
+		for _, tk := range tt.Tasks {
+			want += len(tk.Ops)
+		}
+	}
+	seen := map[*plan.Operator]bool{}
+	for _, ph := range batch.Phases {
+		for _, pl := range ph.Placements {
+			if seen[pl.Op] {
+				t.Fatalf("operator %s placed twice", pl.Op.Name)
+			}
+			seen[pl.Op] = true
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("placed %d of %d operators", len(seen), want)
+	}
+}
+
+func TestScheduleBatchPreservesBlockingPerQuery(t *testing.T) {
+	ts := testScheduler(10, 0.5, 0.7)
+	trees := batchTrees(t, 11, 12)
+	batch, err := ts.ScheduleBatch(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseOf := map[*plan.Operator]int{}
+	for i, ph := range batch.Phases {
+		for _, pl := range ph.Placements {
+			phaseOf[pl.Op] = i
+		}
+	}
+	for op, phase := range phaseOf {
+		if op.BuildOp == nil {
+			continue
+		}
+		if phaseOf[op.BuildOp] >= phase {
+			t.Fatalf("probe %s in phase %d, its build in phase %d",
+				op.Name, phase, phaseOf[op.BuildOp])
+		}
+	}
+}
+
+func TestScheduleBatchPhaseCountIsMax(t *testing.T) {
+	ts := testScheduler(10, 0.5, 0.7)
+	trees := batchTrees(t, 13, 14, 15)
+	maxPhases := 0
+	for _, tt := range trees {
+		if tt.Height+1 > maxPhases {
+			maxPhases = tt.Height + 1
+		}
+	}
+	batch, err := ts.ScheduleBatch(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Phases) != maxPhases {
+		t.Fatalf("batch phases = %d, want %d", len(batch.Phases), maxPhases)
+	}
+}
+
+func TestRandomDeclusteringProducesValidHomes(t *testing.T) {
+	ts := testScheduler(12, 0.5, 0.7)
+	r := rand.New(rand.NewSource(21))
+	p := query.MustRandom(r, query.DefaultGenConfig(10))
+	tt := plan.MustNewTaskTree(plan.MustExpand(p))
+	homes, err := ts.RandomDeclustering(r, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans := 0
+	for _, tk := range tt.Tasks {
+		for _, op := range tk.Ops {
+			if op.Kind == costmodel.Scan {
+				scans++
+				home := homes[op.ID]
+				if len(home) == 0 {
+					t.Fatalf("scan %s has no home", op.Name)
+				}
+				seen := map[int]bool{}
+				for _, s := range home {
+					if s < 0 || s >= ts.P || seen[s] {
+						t.Fatalf("scan %s home %v invalid", op.Name, home)
+					}
+					seen[s] = true
+				}
+			} else if homes[op.ID] != nil {
+				t.Fatalf("non-scan %s was declustered", op.Name)
+			}
+		}
+	}
+	if scans != 11 {
+		t.Fatalf("declustered %d scans, want 11", scans)
+	}
+
+	// The homes must be usable end to end.
+	ts.Homes = homes
+	s, err := ts.Schedule(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range s.Phases {
+		for _, pl := range ph.Placements {
+			if pl.Op.Kind != costmodel.Scan {
+				continue
+			}
+			for k, site := range pl.Sites {
+				if homes[pl.Op.ID][k] != site {
+					t.Fatalf("declustered scan %s moved", pl.Op.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestDeclusteredScansCostSomething(t *testing.T) {
+	// Fixing scan placement takes freedom away from the scheduler; over
+	// several plans the rooted configuration must not beat the floating
+	// one.
+	base := testScheduler(16, 0.5, 0.7)
+	r := rand.New(rand.NewSource(33))
+	var sumFloat, sumRooted float64
+	for trial := 0; trial < 6; trial++ {
+		p := query.MustRandom(r, query.DefaultGenConfig(10))
+		tt := plan.MustNewTaskTree(plan.MustExpand(p))
+		sFloat, err := base.Schedule(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rooted := base
+		homes, err := base.RandomDeclustering(r, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rooted.Homes = homes
+		sRooted, err := rooted.Schedule(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumFloat += sFloat.Response
+		sumRooted += sRooted.Response
+	}
+	if sumRooted < sumFloat*0.999 {
+		t.Fatalf("rooted scans %g beat floating %g — freedom should not hurt",
+			sumRooted, sumFloat)
+	}
+}
+
+func BenchmarkScheduleBatch4Queries(b *testing.B) {
+	ts := testScheduler(32, 0.5, 0.7)
+	var trees []*plan.TaskTree
+	for seed := int64(1); seed <= 4; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := query.MustRandom(r, query.DefaultGenConfig(15))
+		trees = append(trees, plan.MustNewTaskTree(plan.MustExpand(p)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ts.ScheduleBatch(trees); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

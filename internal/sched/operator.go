@@ -1,0 +1,272 @@
+// Package sched implements the paper's primary contribution: the
+// OperatorSchedule multi-dimensional list-scheduling heuristic for
+// independent concurrent operators (Figure 3) and the TreeSchedule
+// algorithm for bushy query plans executed in synchronized phases
+// (Figure 4).
+//
+// Scheduling a set of concurrent operator clones onto P d-dimensional
+// sites is an instance of the d-dimensional bin-design problem: pack the
+// clone work vectors into P bins so that (A) no two clones of one
+// operator share a bin, (B) rooted clones stay at their fixed sites, and
+// (C) the maximum resource usage over all bins — and hence the response
+// time of Equation 3 — is minimized. OperatorSchedule is the paper's
+// list-scheduling rule: consider floating clone vectors in non-increasing
+// order of their maximum component and place each on the least-filled
+// allowable site. Its makespan is provably within (2d+1) of optimal for
+// the given degrees of parallelism and within (2d(fd+1)+1) of the
+// optimal coarse-grain (CG_f) schedule (Theorem 5.1).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mdrs/internal/resource"
+	"mdrs/internal/vector"
+)
+
+// tieEps is the tolerance under which two site loads count as tied for
+// the list-scheduling tie-break.
+const tieEps = 1e-12
+
+// Op is one operator instance presented to OperatorSchedule: its clone
+// work vectors (coordinator first, by the EA1 convention) and, for
+// rooted operators, the fixed home sites of its clones.
+type Op struct {
+	// ID is a caller-assigned identifier, unique within one call.
+	ID int
+	// Clones holds one work vector per clone; len(Clones) is the degree
+	// of partitioned parallelism N_i.
+	Clones []vector.Vector
+	// Home, when non-nil, fixes clone k at site Home[k] (a rooted
+	// operator, constraint (B)). Home must have exactly len(Clones)
+	// pairwise-distinct entries in [0, P).
+	Home []int
+}
+
+// Rooted reports whether the operator's placement is fixed by data
+// placement constraints.
+func (o *Op) Rooted() bool { return o.Home != nil }
+
+// Degree returns N_i, the operator's degree of partitioned parallelism.
+func (o *Op) Degree() int { return len(o.Clones) }
+
+// validate checks an operator against the system width.
+func (o *Op) validate(p int) error {
+	if len(o.Clones) == 0 {
+		return fmt.Errorf("sched: op %d has no clones", o.ID)
+	}
+	if len(o.Clones) > p {
+		return fmt.Errorf("sched: op %d has %d clones but only %d sites exist (Definition 5.1)",
+			o.ID, len(o.Clones), p)
+	}
+	for k, w := range o.Clones {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("sched: op %d clone %d: %w", o.ID, k, err)
+		}
+	}
+	if o.Home != nil {
+		if len(o.Home) != len(o.Clones) {
+			return fmt.Errorf("sched: op %d has %d home sites for %d clones",
+				o.ID, len(o.Home), len(o.Clones))
+		}
+		seen := make(map[int]bool, len(o.Home))
+		for _, s := range o.Home {
+			if s < 0 || s >= p {
+				return fmt.Errorf("sched: op %d home site %d outside [0, %d)", o.ID, s, p)
+			}
+			if seen[s] {
+				return fmt.Errorf("sched: op %d has two clones homed at site %d", o.ID, s)
+			}
+			seen[s] = true
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one OperatorSchedule run.
+type Result struct {
+	// Sites maps each operator ID to its per-clone site assignment:
+	// Sites[id][k] is the site of clone k.
+	Sites map[int][]int
+	// Response is the parallel execution time of the schedule per
+	// Equation 3: max_j T^site(s_j).
+	Response float64
+	// System is the loaded site state after placement, for inspection.
+	System *resource.System
+}
+
+// OperatorSchedule packs the operators' clones onto p d-dimensional
+// sites using the paper's list-scheduling rule (Figure 3). The caller
+// determines each floating operator's degree of parallelism beforehand
+// (e.g. min{N_max(op, f), P} via the cost model); rooted operators carry
+// their fixed homes.
+func OperatorSchedule(p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
+	return operatorSchedule(p, d, ov, ops, true)
+}
+
+// OperatorScheduleUnordered applies the same packing rule but feeds the
+// clones in raw arrival order instead of non-increasing l(w̄). It exists
+// for the list-order ablation; the Theorem 5.1 bound is proved for the
+// sorted order only.
+func OperatorScheduleUnordered(p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
+	return operatorSchedule(p, d, ov, ops, false)
+}
+
+func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool) (*Result, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("sched: non-positive site count %d", p)
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("sched: non-positive dimensionality %d", d)
+	}
+	ids := make(map[int]bool, len(ops))
+	for _, op := range ops {
+		if ids[op.ID] {
+			return nil, fmt.Errorf("sched: duplicate operator ID %d", op.ID)
+		}
+		ids[op.ID] = true
+		if err := op.validate(p); err != nil {
+			return nil, err
+		}
+		for _, w := range op.Clones {
+			if w.Dim() != d {
+				return nil, fmt.Errorf("sched: op %d clone dimension %d != system dimension %d",
+					op.ID, w.Dim(), d)
+			}
+		}
+	}
+
+	sys := resource.NewSystem(p, d, ov)
+	res := &Result{Sites: make(map[int][]int, len(ops)), System: sys}
+
+	// Step 1 (Figure 3): place the work vectors of all rooted operators
+	// at their respective sites.
+	for _, op := range ops {
+		if !op.Rooted() {
+			continue
+		}
+		sites := make([]int, len(op.Clones))
+		for k, w := range op.Clones {
+			sys.Site(op.Home[k]).Assign(w)
+			sites[k] = op.Home[k]
+		}
+		res.Sites[op.ID] = sites
+	}
+
+	// Step 2: the list L of all floating clone vectors in non-increasing
+	// order of l(w̄). Ties break on operator ID then clone index so the
+	// schedule is deterministic.
+	type item struct {
+		op    *Op
+		clone int
+		len   float64
+	}
+	var list []item
+	for _, op := range ops {
+		if op.Rooted() {
+			continue
+		}
+		res.Sites[op.ID] = make([]int, len(op.Clones))
+		for k, w := range op.Clones {
+			list = append(list, item{op: op, clone: k, len: w.Length()})
+		}
+	}
+	if sorted {
+		sort.Slice(list, func(i, j int) bool {
+			a, b := list[i], list[j]
+			if a.len != b.len {
+				return a.len > b.len
+			}
+			if a.op.ID != b.op.ID {
+				return a.op.ID < b.op.ID
+			}
+			return a.clone < b.clone
+		})
+	}
+
+	// Step 3: place each vector on the least-filled site (by l(work(s)))
+	// holding no other clone of the same operator.
+	used := make(map[int]map[int]bool, len(ops)) // op ID -> sites holding one of its clones
+	for _, op := range ops {
+		m := make(map[int]bool, len(op.Clones))
+		if op.Rooted() {
+			for _, s := range op.Home {
+				m[s] = true
+			}
+		}
+		used[op.ID] = m
+	}
+	for _, it := range list {
+		bans := used[it.op.ID]
+		// Least-filled site by l(work(s)), as in Figure 3. Among sites
+		// tied on l (common early on, when several resources are empty),
+		// prefer the smaller total load: any argmin of l satisfies the
+		// Theorem 5.1 proof, and the sum tie-break steers complementary
+		// resource demands together (the paper's Section 5.2.2 example).
+		best, bestLoad, bestSum := -1, 0.0, 0.0
+		for j := 0; j < p; j++ {
+			if bans[j] {
+				continue
+			}
+			l := sys.Site(j).LoadLength()
+			sum := sys.Site(j).LoadSum()
+			if best < 0 || l < bestLoad-tieEps ||
+				(l < bestLoad+tieEps && sum < bestSum-tieEps) {
+				best, bestLoad, bestSum = j, l, sum
+			}
+		}
+		if best < 0 {
+			// Unreachable given validate(): degree <= P and distinct homes.
+			return nil, fmt.Errorf("sched: no allowable site for op %d clone %d", it.op.ID, it.clone)
+		}
+		sys.Site(best).Assign(it.op.Clones[it.clone])
+		bans[best] = true
+		res.Sites[it.op.ID][it.clone] = best
+	}
+
+	res.Response = sys.MaxTSite()
+	return res, nil
+}
+
+// LowerBound returns LB(N) = max{ l(S(N))/P, h(N) } (Section 7): the
+// larger of the perfectly balanced congestion bound and the slowest
+// operator's isolated parallel execution time. Every schedule of the
+// given parallelization, on any assignment, takes at least this long,
+// and the list-scheduling rule is guaranteed within (2d+1)·LB.
+func LowerBound(p int, ov resource.Overlap, ops []*Op) float64 {
+	if len(ops) == 0 {
+		return 0
+	}
+	d := ops[0].Clones[0].Dim()
+	total := vector.New(d)
+	h := 0.0
+	for _, op := range ops {
+		tpar := 0.0
+		for _, w := range op.Clones {
+			total.AddInPlace(w)
+			if t := ov.TSeq(w); t > tpar {
+				tpar = t
+			}
+		}
+		if tpar > h {
+			h = tpar
+		}
+	}
+	lb := total.Length() / float64(p)
+	if h > lb {
+		lb = h
+	}
+	return lb
+}
+
+// PerformanceRatioBound returns the Theorem 5.1(a) guarantee, 2d+1: the
+// worst-case ratio of OperatorSchedule's makespan to the optimal
+// schedule with the same degrees of parallelism.
+func PerformanceRatioBound(d int) float64 { return float64(2*d + 1) }
+
+// CoarseGrainRatioBound returns the Theorem 5.1(b) guarantee,
+// 2d(fd+1)+1: the worst-case ratio against the optimal CG_f schedule.
+func CoarseGrainRatioBound(d int, f float64) float64 {
+	return 2*float64(d)*(f*float64(d)+1) + 1
+}

@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"mdrs/internal/resource"
+	"mdrs/internal/vector"
+)
+
+// Stats summarizes a schedule's resource economics.
+type Stats struct {
+	// TotalWork is the summed work vector over every placed clone
+	// (including communication and startup), in seconds per resource.
+	TotalWork vector.Vector
+	// Utilization is TotalWork[i] / (P · Response): the fraction of the
+	// system's capacity on resource i that the schedule keeps busy.
+	Utilization vector.Vector
+	// PhaseUtilization is the same ratio per phase.
+	PhaseUtilization []vector.Vector
+	// Clones is the total number of placed operator clones.
+	Clones int
+}
+
+// Stats computes resource statistics for the schedule. The site
+// dimensionality is taken from the first clone.
+func (s *Schedule) Stats() Stats {
+	d := resource.Dims
+	for _, ph := range s.Phases {
+		for _, pl := range ph.Placements {
+			if len(pl.Clones) > 0 {
+				d = pl.Clones[0].Dim()
+				break
+			}
+		}
+	}
+	st := Stats{TotalWork: vector.New(d), Utilization: vector.New(d)}
+	for _, ph := range s.Phases {
+		phaseWork := vector.New(d)
+		for _, pl := range ph.Placements {
+			for _, w := range pl.Clones {
+				phaseWork.AddInPlace(w)
+				st.Clones++
+			}
+		}
+		st.TotalWork.AddInPlace(phaseWork)
+		u := vector.New(d)
+		if ph.Response > 0 {
+			u = phaseWork.Scale(1 / (float64(s.P) * ph.Response))
+		}
+		st.PhaseUtilization = append(st.PhaseUtilization, u)
+	}
+	if s.Response > 0 {
+		st.Utilization = st.TotalWork.Scale(1 / (float64(s.P) * s.Response))
+	}
+	return st
+}
+
+// WriteText renders the schedule as a per-phase site-load chart: one
+// bar per site showing its most congested resource's load relative to
+// the phase response, plus a placement table.
+func WriteText(w io.Writer, s *Schedule) error {
+	st := s.Stats()
+	if _, err := fmt.Fprintf(w, "schedule: %.3f s on %d sites, %d phases, %d clones\n",
+		s.Response, s.P, len(s.Phases), st.Clones); err != nil {
+		return err
+	}
+	names := []string{"cpu", "disk", "net"}
+	fmt.Fprintf(w, "utilization:")
+	for i, u := range st.Utilization {
+		n := fmt.Sprintf("r%d", i)
+		if i < len(names) {
+			n = names[i]
+		}
+		fmt.Fprintf(w, " %s %.1f%%", n, 100*u)
+	}
+	fmt.Fprintln(w)
+
+	for _, ph := range s.Phases {
+		fmt.Fprintf(w, "\nphase %d: %.3f s, %d operators\n",
+			ph.Index, ph.Response, len(ph.Placements))
+		loads := make([]vector.Vector, s.P)
+		for j := range loads {
+			loads[j] = vector.New(dimOf(ph))
+		}
+		for _, pl := range ph.Placements {
+			for k, site := range pl.Sites {
+				loads[site].AddInPlace(pl.Clones[k])
+			}
+		}
+		for j, l := range loads {
+			frac := 0.0
+			if ph.Response > 0 {
+				frac = l.Length() / ph.Response
+			}
+			bar := strings.Repeat("#", int(frac*40+0.5))
+			fmt.Fprintf(w, "  site %3d |%-40s| %5.1f%%\n", j, bar, frac*100)
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func dimOf(ph *PhaseSchedule) int {
+	for _, pl := range ph.Placements {
+		if len(pl.Clones) > 0 {
+			return pl.Clones[0].Dim()
+		}
+	}
+	return resource.Dims
+}
+
+// scheduleJSON is the stable serialized form of a Schedule.
+type scheduleJSON struct {
+	Response float64     `json:"response_seconds"`
+	Sites    int         `json:"sites"`
+	Phases   []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Index      int             `json:"index"`
+	Response   float64         `json:"response_seconds"`
+	Placements []placementJSON `json:"placements"`
+}
+
+type placementJSON struct {
+	Operator string      `json:"operator"`
+	OpID     int         `json:"op_id"`
+	Kind     string      `json:"kind"`
+	Degree   int         `json:"degree"`
+	Rooted   bool        `json:"rooted"`
+	TPar     float64     `json:"t_par_seconds"`
+	Sites    []int       `json:"sites"`
+	Clones   [][]float64 `json:"clone_work_vectors"`
+}
+
+// EncodeJSON renders the schedule as indented, stable JSON for
+// downstream tooling.
+func EncodeJSON(s *Schedule) ([]byte, error) {
+	out := scheduleJSON{Response: s.Response, Sites: s.P}
+	for _, ph := range s.Phases {
+		pj := phaseJSON{Index: ph.Index, Response: ph.Response}
+		for _, pl := range ph.Placements {
+			clones := make([][]float64, len(pl.Clones))
+			for k, w := range pl.Clones {
+				clones[k] = append([]float64(nil), w...)
+			}
+			pj.Placements = append(pj.Placements, placementJSON{
+				Operator: pl.Op.Name,
+				OpID:     pl.Op.ID,
+				Kind:     pl.Op.Kind.String(),
+				Degree:   pl.Degree,
+				Rooted:   pl.Rooted,
+				TPar:     pl.TPar,
+				Sites:    pl.Sites,
+				Clones:   clones,
+			})
+		}
+		out.Phases = append(out.Phases, pj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

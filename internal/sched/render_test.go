@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+)
+
+func renderSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	r := rand.New(rand.NewSource(61))
+	p := query.MustRandom(r, query.DefaultGenConfig(8))
+	tt := plan.MustNewTaskTree(plan.MustExpand(p))
+	s, err := testScheduler(10, 0.5, 0.7).Schedule(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := renderSchedule(t)
+	st := s.Stats()
+	if st.Clones == 0 {
+		t.Fatal("no clones counted")
+	}
+	if len(st.PhaseUtilization) != len(s.Phases) {
+		t.Fatalf("phase utilization count %d != %d", len(st.PhaseUtilization), len(s.Phases))
+	}
+	// Utilization on each resource lies in (0, 1]: no resource can be
+	// busier than the full system for the whole response time.
+	for i, u := range st.Utilization {
+		if u <= 0 || u > 1+1e-9 {
+			t.Fatalf("utilization[%d] = %g", i, u)
+		}
+	}
+	// TotalWork must equal the sum over phases of per-phase work.
+	sum := 0.0
+	for pi, u := range st.PhaseUtilization {
+		for i := range u {
+			sum += u[i] * float64(s.P) * s.Phases[pi].Response
+		}
+	}
+	if math.Abs(sum-st.TotalWork.Sum()) > 1e-6 {
+		t.Fatalf("phase work %g != total %g", sum, st.TotalWork.Sum())
+	}
+}
+
+func TestStatsEmptySchedule(t *testing.T) {
+	st := (&Schedule{P: 4}).Stats()
+	if st.Clones != 0 || st.TotalWork.Sum() != 0 {
+		t.Fatalf("empty schedule stats: %+v", st)
+	}
+}
+
+func TestWriteTextRendering(t *testing.T) {
+	s := renderSchedule(t)
+	var sb strings.Builder
+	if err := WriteText(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"schedule:", "utilization:", "phase 0", "site"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out[:200])
+		}
+	}
+	// One bar row per site per phase.
+	if got := strings.Count(out, "site "); got != s.P*len(s.Phases) {
+		t.Fatalf("bar rows = %d, want %d", got, s.P*len(s.Phases))
+	}
+}
+
+func TestEncodeJSONRoundTrip(t *testing.T) {
+	s := renderSchedule(t)
+	data, err := EncodeJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Response float64 `json:"response_seconds"`
+		Sites    int     `json:"sites"`
+		Phases   []struct {
+			Placements []struct {
+				Operator string      `json:"operator"`
+				Degree   int         `json:"degree"`
+				Sites    []int       `json:"sites"`
+				Clones   [][]float64 `json:"clone_work_vectors"`
+			} `json:"placements"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(decoded.Response-s.Response) > 1e-12 || decoded.Sites != s.P {
+		t.Fatalf("header mismatch: %+v", decoded)
+	}
+	if len(decoded.Phases) != len(s.Phases) {
+		t.Fatalf("phases %d != %d", len(decoded.Phases), len(s.Phases))
+	}
+	for pi, ph := range decoded.Phases {
+		for qi, pl := range ph.Placements {
+			orig := s.Phases[pi].Placements[qi]
+			if pl.Operator != orig.Op.Name || pl.Degree != orig.Degree {
+				t.Fatalf("placement mismatch at %d/%d", pi, qi)
+			}
+			if len(pl.Sites) != pl.Degree || len(pl.Clones) != pl.Degree {
+				t.Fatalf("degree inconsistency at %d/%d", pi, qi)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package sched
+
+import (
+	"fmt"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/plan"
+	"mdrs/internal/resource"
+	"mdrs/internal/vector"
+)
+
+// TreeScheduler configures TreeSchedule (Figure 4): a system of P
+// d-dimensional sites with overlap model Overlap, a cost model, and the
+// granularity parameter f that bounds partitioned parallelism through
+// Proposition 4.1.
+type TreeScheduler struct {
+	Model   costmodel.Model
+	Overlap resource.Overlap
+	// P is the number of system sites.
+	P int
+	// F is the coarse-granularity parameter f of Definition 4.1.
+	F float64
+	// Homes optionally roots operators (by operator ID) at fixed sites,
+	// expressing data placement constraints such as pre-declustered base
+	// relations. Probes are always rooted at their build's home
+	// regardless of this map.
+	Homes map[int][]int
+	// Policy selects the phase-packing policy; the zero value is the
+	// paper's MinShelf.
+	Policy plan.PhasePolicy
+}
+
+// Validate reports the first nonsensical configuration field.
+func (ts TreeScheduler) Validate() error {
+	if err := ts.Model.Params.Validate(); err != nil {
+		return err
+	}
+	if ts.P <= 0 {
+		return fmt.Errorf("sched: non-positive site count %d", ts.P)
+	}
+	if ts.F < 0 {
+		return fmt.Errorf("sched: negative granularity parameter f = %g", ts.F)
+	}
+	return nil
+}
+
+// OpPlacement records the scheduling decision for one plan operator.
+type OpPlacement struct {
+	// Op is the scheduled plan operator.
+	Op *plan.Operator
+	// Degree is the degree of partitioned parallelism N_i.
+	Degree int
+	// Sites holds the site of each clone; Sites[0] is the coordinator.
+	Sites []int
+	// Clones holds the clone work vectors, aligned with Sites.
+	Clones []vector.Vector
+	// Rooted marks operators whose home was fixed before list scheduling.
+	Rooted bool
+	// TPar is T^par(op, N): the operator's isolated parallel execution
+	// time (Equation 1).
+	TPar float64
+}
+
+// PhaseSchedule is the schedule of one synchronized phase.
+type PhaseSchedule struct {
+	// Index is the phase's execution position, starting at 0.
+	Index int
+	// Tasks lists the independent tasks executed in the phase.
+	Tasks []*plan.Task
+	// Placements lists one entry per operator, in operator-ID order.
+	Placements []*OpPlacement
+	// Response is the phase's parallel execution time per Equation 3.
+	Response float64
+}
+
+// Schedule is a complete parallel schedule for a bushy plan: the
+// synchronized phases and the end-to-end response time (the sum of the
+// phase responses, since phases execute back to back).
+type Schedule struct {
+	// Phases in execution order.
+	Phases []*PhaseSchedule
+	// Response is the total plan response time.
+	Response float64
+	// P is the system size the schedule was produced for.
+	P int
+}
+
+// Placement returns the placement of the given operator, or nil.
+func (s *Schedule) Placement(op *plan.Operator) *OpPlacement {
+	for _, ph := range s.Phases {
+		for _, pl := range ph.Placements {
+			if pl.Op == op {
+				return pl
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule runs TreeSchedule on a task tree: split the plan into
+// synchronized phases (already encoded in the tree, Section 5.4), then
+// schedule each phase's operators with OperatorSchedule, carrying the
+// build→probe home constraint across phases (Section 5.5).
+func (ts TreeScheduler) Schedule(tt *plan.TaskTree) (*Schedule, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tt.Validate(); err != nil {
+		return nil, err
+	}
+
+	out := &Schedule{P: ts.P}
+	// Home of each already-scheduled operator, for rooting probes.
+	homes := make(map[*plan.Operator][]int)
+
+	for phaseIdx, tasks := range tt.PhasesBy(ts.Policy) {
+		var ops []*Op
+		placements := make(map[int]*OpPlacement)
+		for _, tk := range tasks {
+			for _, p := range tk.Ops {
+				op, pl, err := ts.prepare(p, homes)
+				if err != nil {
+					return nil, fmt.Errorf("sched: phase %d: %w", phaseIdx, err)
+				}
+				ops = append(ops, op)
+				placements[op.ID] = pl
+			}
+		}
+
+		res, err := OperatorSchedule(ts.P, resource.Dims, ts.Overlap, ops)
+		if err != nil {
+			return nil, fmt.Errorf("sched: phase %d: %w", phaseIdx, err)
+		}
+
+		ph := &PhaseSchedule{Index: phaseIdx, Tasks: tasks, Response: res.Response}
+		for _, op := range ops {
+			pl := placements[op.ID]
+			pl.Sites = res.Sites[op.ID]
+			homes[pl.Op] = pl.Sites
+			ph.Placements = append(ph.Placements, pl)
+		}
+		out.Phases = append(out.Phases, ph)
+		out.Response += ph.Response
+	}
+	return out, nil
+}
+
+// prepare determines an operator's degree of parallelism and clone
+// vectors, and whether it is rooted.
+func (ts TreeScheduler) prepare(p *plan.Operator, homes map[*plan.Operator][]int) (*Op, *OpPlacement, error) {
+	cost := ts.Model.Cost(p.Spec)
+
+	var home []int
+	switch {
+	case p.BuildOp != nil:
+		// A probe executes at the sites holding the hash table: the home
+		// of its build, with the same clone layout (coordinator aligned).
+		h, ok := homes[p.BuildOp]
+		if !ok {
+			return nil, nil, fmt.Errorf("operator %q scheduled before its build %q",
+				p.Name, p.BuildOp.Name)
+		}
+		home = h
+	case ts.Homes[p.ID] != nil:
+		home = ts.Homes[p.ID]
+	}
+
+	var n int
+	if home != nil {
+		n = len(home)
+	} else {
+		n = ts.Model.Degree(cost, ts.F, ts.P, ts.Overlap)
+		if p.Kind == costmodel.Build && p.Consumer != nil {
+			// The probe of this join is forced to run at the build's
+			// home (Section 5.5), so the join's degree must be coarse
+			// grain for the probe as well: cap the build's parallelism
+			// by the probe's own CG_f degree. Otherwise the granularity
+			// condition could never constrain probes at all.
+			probeCost := ts.Model.Cost(p.Consumer.Spec)
+			if pn := ts.Model.Degree(probeCost, ts.F, ts.P, ts.Overlap); pn < n {
+				n = pn
+			}
+		}
+	}
+	clones := ts.Model.Clones(cost, n)
+
+	op := &Op{ID: p.ID, Clones: clones, Home: home}
+	pl := &OpPlacement{
+		Op:     p,
+		Degree: n,
+		Clones: clones,
+		Rooted: home != nil,
+		TPar:   ts.Model.TPar(cost, n, ts.Overlap),
+	}
+	return op, pl, nil
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+	"mdrs/internal/sched"
+	"mdrs/internal/vector"
+)
+
+func TestSimulateSiteEmpty(t *testing.T) {
+	got, err := SimulateSite(resource.MustOverlap(0.5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty site makespan = %g", got)
+	}
+}
+
+func TestSimulateSiteSingleClone(t *testing.T) {
+	ov := resource.MustOverlap(0.3)
+	w := vector.Of(10, 15)
+	got, err := SimulateSite(ov, []vector.Vector{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-ov.TSeq(w)) > 1e-9 {
+		t.Fatalf("single clone makespan %g != TSeq %g", got, ov.TSeq(w))
+	}
+}
+
+func TestSimulateSiteZeroWorkClone(t *testing.T) {
+	ov := resource.MustOverlap(1)
+	got, err := SimulateSite(ov, []vector.Vector{vector.Of(0, 0), vector.Of(4, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("makespan = %g, want 4", got)
+	}
+}
+
+func TestSimulateSiteRejectsBadInput(t *testing.T) {
+	ov := resource.MustOverlap(0.5)
+	if _, err := SimulateSite(ov, []vector.Vector{vector.Of(-1, 0)}); err == nil {
+		t.Error("negative work accepted")
+	}
+	if _, err := SimulateSite(ov, []vector.Vector{vector.Of(1, 2), vector.Of(1, 2, 3)}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSimulateSiteIdenticalClonesMatchAnalytic(t *testing.T) {
+	// n identical clones: equal-stretch is optimal, so the simulated
+	// makespan equals Equation 2 exactly.
+	ov := resource.MustOverlap(1)
+	w := vector.Of(3, 1)
+	for n := 1; n <= 6; n++ {
+		clones := make([]vector.Vector, n)
+		for i := range clones {
+			clones[i] = w
+		}
+		simT, err := SimulateSite(ov, clones)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := AnalyticTSite(ov, clones) // max(3, 3n)
+		if math.Abs(simT-want) > 1e-9 {
+			t.Fatalf("n=%d: sim %g != analytic %g", n, simT, want)
+		}
+	}
+}
+
+func TestSimulatePaperExample(t *testing.T) {
+	// Section 5.2.2 with ε = 0.3: clones [10 15] (T=22) and [10 5] (T=10)
+	// fit in 22 analytically; the congested pair [10 15] + [5 10] costs 25.
+	ov := resource.MustOverlap(0.3)
+	sim1, err := SimulateSite(ov, []vector.Vector{vector.Of(10, 15), vector.Of(10, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim1 < 22-1e-9 {
+		t.Fatalf("sim %g below analytic 22", sim1)
+	}
+	sim2, err := SimulateSite(ov, []vector.Vector{vector.Of(10, 15), vector.Of(5, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim2 < 25-1e-9 {
+		t.Fatalf("sim %g below analytic 25", sim2)
+	}
+}
+
+func TestAnalyticTSiteMatchesResourceSite(t *testing.T) {
+	ov := resource.MustOverlap(0.4)
+	clones := []vector.Vector{vector.Of(1, 5, 2), vector.Of(4, 1, 1), vector.Of(2, 2, 2)}
+	s := resource.NewSite(0, 3, ov)
+	for _, w := range clones {
+		s.Assign(w)
+	}
+	if math.Abs(AnalyticTSite(ov, clones)-s.TSite()) > 1e-12 {
+		t.Fatalf("AnalyticTSite %g != Site.TSite %g", AnalyticTSite(ov, clones), s.TSite())
+	}
+}
+
+// Property: the fluid makespan is always in [analytic, Σ T_c]: feasible
+// sharing can't beat Equation 2, and equal-stretch can't be worse than
+// full serialization.
+func TestQuickSimulatedWithinEnvelope(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ov := resource.MustOverlap(r.Float64())
+		d := 1 + r.Intn(4)
+		n := 1 + r.Intn(8)
+		clones := make([]vector.Vector, n)
+		sumT := 0.0
+		for i := range clones {
+			w := vector.New(d)
+			for j := range w {
+				w[j] = r.Float64() * 10
+			}
+			clones[i] = w
+			sumT += ov.TSeq(w)
+		}
+		simT, err := SimulateSite(ov, clones)
+		if err != nil {
+			return false
+		}
+		return simT >= AnalyticTSite(ov, clones)-1e-9 && simT <= sumT+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with d = 1, equal-stretch sharing of a single resource is
+// work-conserving, so the simulated makespan equals the analytic one
+// exactly: max(max T_c, Σ W_c).
+func TestQuickOneDimensionalExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ov := resource.MustOverlap(r.Float64())
+		n := 1 + r.Intn(8)
+		clones := make([]vector.Vector, n)
+		for i := range clones {
+			clones[i] = vector.Of(r.Float64() * 10)
+		}
+		simT, err := SimulateSite(ov, clones)
+		if err != nil {
+			return false
+		}
+		return math.Abs(simT-AnalyticTSite(ov, clones)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateSystem(t *testing.T) {
+	ov := resource.MustOverlap(1)
+	siteClones := [][]vector.Vector{
+		{vector.Of(4, 0), vector.Of(0, 4)},
+		{vector.Of(2, 2)},
+		nil,
+	}
+	per, overall, err := SimulateSystem(ov, siteClones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 3 {
+		t.Fatalf("per-site count = %d", len(per))
+	}
+	if per[2].Analytic != 0 || per[2].Simulated != 0 {
+		t.Fatalf("empty site nonzero: %+v", per[2])
+	}
+	if overall.Analytic != 4 {
+		t.Fatalf("overall analytic = %g, want 4", overall.Analytic)
+	}
+	if overall.Simulated < overall.Analytic-1e-9 {
+		t.Fatalf("overall sim %g below analytic %g", overall.Simulated, overall.Analytic)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := (SiteComparison{Analytic: 2, Simulated: 3}).Ratio(); math.Abs(r-1.5) > 1e-12 {
+		t.Fatalf("Ratio = %g", r)
+	}
+	if r := (SiteComparison{}).Ratio(); r != 1 {
+		t.Fatalf("zero Ratio = %g", r)
+	}
+	if r := (SiteComparison{Simulated: 1}).Ratio(); !math.IsInf(r, 1) {
+		t.Fatalf("Ratio with zero analytic = %g", r)
+	}
+}
+
+func TestSimulateScheduleTracksAnalyticModel(t *testing.T) {
+	// Replay a real TreeSchedule through the simulator: the simulated
+	// response must be >= the analytic one but within a modest factor
+	// (the equal-stretch policy wastes little on balanced packings).
+	r := rand.New(rand.NewSource(77))
+	pl := query.MustRandom(r, query.DefaultGenConfig(15))
+	tt := plan.MustNewTaskTree(plan.MustExpand(pl))
+	ov := resource.MustOverlap(0.5)
+	s, err := sched.TreeScheduler{
+		Model: costmodel.Default(), Overlap: ov, P: 16, F: 0.7,
+	}.Schedule(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := SimulateSchedule(ov, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmp.Analytic-s.Response) > 1e-6 {
+		t.Fatalf("analytic replay %g != schedule response %g", cmp.Analytic, s.Response)
+	}
+	if cmp.Simulated < cmp.Analytic-1e-9 {
+		t.Fatalf("simulated %g below analytic %g", cmp.Simulated, cmp.Analytic)
+	}
+	if cmp.Simulated > cmp.Analytic*2 {
+		t.Fatalf("simulated %g more than 2x analytic %g — model badly violated",
+			cmp.Simulated, cmp.Analytic)
+	}
+}
+
+func BenchmarkSimulateSite(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ov := resource.MustOverlap(0.5)
+	clones := make([]vector.Vector, 32)
+	for i := range clones {
+		w := vector.New(3)
+		for j := range w {
+			w[j] = r.Float64() * 10
+		}
+		clones[i] = w
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateSite(ov, clones); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package vector implements the d-dimensional work vectors of
+// Garofalakis & Ioannidis (SIGMOD'96), Section 5.1.
+//
+// A work vector W̄ describes the demands an operator (or operator clone)
+// places on the d preemptable resources of a site; component W[i] is the
+// effective busy time, in seconds, of resource i. The package provides
+// the two "length" notions the scheduling algorithms are built on:
+//
+//	l(W̄) = max_k W[k]          (length of a vector)
+//	l(S)  = max_k Σ_{W∈S} W[k]  (length of a set of vectors)
+//
+// Vectors are ordinary []float64 slices wrapped in a named type so that
+// the scheduling code reads like the paper.
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Vector is a d-dimensional work vector. Components are non-negative
+// resource demands in seconds of busy time.
+type Vector []float64
+
+// ErrDimensionMismatch is returned (or wrapped) by operations that
+// combine vectors of different dimensionality.
+var ErrDimensionMismatch = errors.New("vector: dimension mismatch")
+
+// New returns a zero vector of dimension d. It panics if d <= 0, since a
+// site without resources is meaningless in the model.
+func New(d int) Vector {
+	if d <= 0 {
+		panic(fmt.Sprintf("vector: non-positive dimension %d", d))
+	}
+	return make(Vector, d)
+}
+
+// Of builds a vector from its components. The slice is copied.
+func Of(components ...float64) Vector {
+	v := make(Vector, len(components))
+	copy(v, components)
+	return v
+}
+
+// Dim returns the dimensionality d of the vector.
+func (v Vector) Dim() int { return len(v) }
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Length returns l(W̄) = max_k W[k], the maximum component. The length of
+// an empty vector is 0.
+func (v Vector) Length() float64 {
+	m := 0.0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns Σ_k W[k], the total work across all resources. This is the
+// processing area of an operator when v holds its zero-communication
+// demands (Section 4.2).
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Add returns v + w componentwise. It panics on dimension mismatch,
+// which always indicates a programming error (all vectors in one
+// scheduling problem share the site dimensionality d).
+func (v Vector) Add(w Vector) Vector {
+	mustMatch(v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// AddInPlace adds w into v without allocating.
+func (v Vector) AddInPlace(w Vector) {
+	mustMatch(v, w)
+	for i := range w {
+		v[i] += w[i]
+	}
+}
+
+// SubInPlace subtracts w from v without allocating. Components are
+// clamped at zero to absorb floating-point drift; the model has no
+// negative work.
+func (v Vector) SubInPlace(w Vector) {
+	mustMatch(v, w)
+	for i := range w {
+		v[i] -= w[i]
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// Scale returns c·v. It panics if c < 0.
+func (v Vector) Scale(c float64) Vector {
+	if c < 0 {
+		panic(fmt.Sprintf("vector: negative scale factor %g", c))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * c
+	}
+	return out
+}
+
+// LE reports componentwise less-than-or-equal: v ≤_d w (Section 7,
+// footnote 5). It panics on dimension mismatch.
+func (v Vector) LE(w Vector) bool {
+	mustMatch(v, w)
+	for i := range v {
+		if v[i] > w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether v and w agree componentwise within eps.
+func (v Vector) ApproxEqual(w Vector, eps float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether all components are exactly zero.
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate returns an error if the vector has no components, or a
+// component that is negative, NaN, or infinite.
+func (v Vector) Validate() error {
+	if len(v) == 0 {
+		return errors.New("vector: empty (dimension 0)")
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("vector: component %d is %g", i, x)
+		}
+		if x < 0 {
+			return fmt.Errorf("vector: component %d is negative (%g)", i, x)
+		}
+	}
+	return nil
+}
+
+// String renders the vector as "[a b c]" with compact formatting.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.6g", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// SetLength returns l(S) = max_k Σ_{W∈S} W[k] for a set of vectors that
+// all share a dimension. An empty set has length 0. It panics on
+// dimension mismatch between members.
+func SetLength(set []Vector) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	return SumSet(set).Length()
+}
+
+// SumSet returns the componentwise vector sum of the set. It panics on
+// dimension mismatch and on an empty set.
+func SumSet(set []Vector) Vector {
+	if len(set) == 0 {
+		panic("vector: SumSet of empty set")
+	}
+	out := set[0].Clone()
+	for _, w := range set[1:] {
+		out.AddInPlace(w)
+	}
+	return out
+}
+
+func mustMatch(v, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("%v: %d vs %d", ErrDimensionMismatch, len(v), len(w)))
+	}
+}

@@ -1,0 +1,303 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZero(t *testing.T) {
+	v := New(3)
+	if v.Dim() != 3 {
+		t.Fatalf("Dim = %d, want 3", v.Dim())
+	}
+	if !v.IsZero() {
+		t.Fatalf("New(3) = %v, want zero vector", v)
+	}
+}
+
+func TestNewPanicsOnNonPositiveDim(t *testing.T) {
+	for _, d := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", d)
+				}
+			}()
+			New(d)
+		}()
+	}
+}
+
+func TestOfCopies(t *testing.T) {
+	src := []float64{1, 2}
+	v := Of(src...)
+	src[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Of aliased its argument: %v", v)
+	}
+}
+
+func TestLength(t *testing.T) {
+	tests := []struct {
+		v    Vector
+		want float64
+	}{
+		{Of(10, 15), 15},
+		{Of(10, 5), 10},
+		{Of(0, 0, 0), 0},
+		{Of(7), 7},
+		{Of(1, 2, 3, 4, 2), 4},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Length(); got != tt.want {
+			t.Errorf("Length(%v) = %g, want %g", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Of(10, 15).Sum(); got != 25 {
+		t.Fatalf("Sum = %g, want 25", got)
+	}
+	if got := New(4).Sum(); got != 0 {
+		t.Fatalf("Sum of zero vector = %g, want 0", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	// The paper's running example, Section 5.2.2: W1+W2 = [20 20].
+	w1, w2 := Of(10, 15), Of(10, 5)
+	got := w1.Add(w2)
+	if !got.ApproxEqual(Of(20, 20), 0) {
+		t.Fatalf("Add = %v, want [20 20]", got)
+	}
+	// Operands untouched.
+	if !w1.ApproxEqual(Of(10, 15), 0) || !w2.ApproxEqual(Of(10, 5), 0) {
+		t.Fatalf("Add mutated an operand: %v %v", w1, w2)
+	}
+}
+
+func TestAddDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched dims did not panic")
+		}
+	}()
+	Of(1, 2).Add(Of(1, 2, 3))
+}
+
+func TestAddInPlace(t *testing.T) {
+	v := Of(1, 2, 3)
+	v.AddInPlace(Of(4, 5, 6))
+	if !v.ApproxEqual(Of(5, 7, 9), 0) {
+		t.Fatalf("AddInPlace = %v", v)
+	}
+}
+
+func TestSubInPlaceClampsAtZero(t *testing.T) {
+	v := Of(1, 2)
+	v.SubInPlace(Of(2, 1))
+	if !v.ApproxEqual(Of(0, 1), 0) {
+		t.Fatalf("SubInPlace = %v, want [0 1]", v)
+	}
+}
+
+func TestScale(t *testing.T) {
+	v := Of(2, 4).Scale(0.5)
+	if !v.ApproxEqual(Of(1, 2), 1e-12) {
+		t.Fatalf("Scale = %v", v)
+	}
+}
+
+func TestScaleNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scale(-1) did not panic")
+		}
+	}()
+	Of(1).Scale(-1)
+}
+
+func TestLE(t *testing.T) {
+	tests := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Of(1, 2), Of(1, 2), true},
+		{Of(1, 2), Of(2, 3), true},
+		{Of(1, 4), Of(2, 3), false},
+		{Of(0, 0), Of(0, 0), true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.LE(tt.b); got != tt.want {
+			t.Errorf("%v LE %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Of(1, 2).Validate(); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+	bad := []Vector{
+		{},
+		Of(-1),
+		Of(math.NaN()),
+		Of(math.Inf(1)),
+		Of(1, -0.001),
+	}
+	for _, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", v)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Of(1, 2)
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSetLength(t *testing.T) {
+	// Section 5.2.2 examples: {[10 15],[10 5]} -> 20; {[10 15],[5 10]} -> 25.
+	if got := SetLength([]Vector{Of(10, 15), Of(10, 5)}); got != 20 {
+		t.Fatalf("SetLength = %g, want 20", got)
+	}
+	if got := SetLength([]Vector{Of(10, 15), Of(5, 10)}); got != 25 {
+		t.Fatalf("SetLength = %g, want 25", got)
+	}
+	if got := SetLength(nil); got != 0 {
+		t.Fatalf("SetLength(nil) = %g, want 0", got)
+	}
+}
+
+func TestSumSet(t *testing.T) {
+	got := SumSet([]Vector{Of(1, 2), Of(3, 4), Of(5, 6)})
+	if !got.ApproxEqual(Of(9, 12), 1e-12) {
+		t.Fatalf("SumSet = %v", got)
+	}
+}
+
+func TestSumSetEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SumSet(nil) did not panic")
+		}
+	}()
+	SumSet(nil)
+}
+
+func TestString(t *testing.T) {
+	s := Of(1.5, 2).String()
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") || !strings.Contains(s, "1.5") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func randVec(r *rand.Rand, d int) Vector {
+	v := New(d)
+	for i := range v {
+		v[i] = r.Float64() * 100
+	}
+	return v
+}
+
+// Property: l(W) <= Sum(W) always, and l(v+w) <= l(v)+l(w)
+// (subadditivity of the max norm).
+func TestQuickLengthProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(6)
+		v, w := randVec(rr, d), randVec(rr, d)
+		if v.Length() > v.Sum()+1e-9 {
+			return false
+		}
+		return v.Add(w).Length() <= v.Length()+w.Length()+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SetLength of a set equals Length of SumSet, and is at least
+// the length of any member.
+func TestQuickSetLengthConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(5)
+		n := 1 + rr.Intn(8)
+		set := make([]Vector, n)
+		for i := range set {
+			set[i] = randVec(rr, d)
+		}
+		sl := SetLength(set)
+		if math.Abs(sl-SumSet(set).Length()) > 1e-9 {
+			return false
+		}
+		for _, v := range set {
+			if v.Length() > sl+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale distributes over Length and Sum.
+func TestQuickScaleLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		v := randVec(rr, 1+rr.Intn(5))
+		c := rr.Float64() * 10
+		s := v.Scale(c)
+		return math.Abs(s.Length()-c*v.Length()) < 1e-6 &&
+			math.Abs(s.Sum()-c*v.Sum()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LE is a partial order — reflexive and transitive on random
+// triples where it holds.
+func TestQuickLEPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		d := 1 + rr.Intn(4)
+		a := randVec(rr, d)
+		if !a.LE(a) {
+			return false
+		}
+		b := a.Add(randVec(rr, d)) // a <= b by construction
+		c := b.Add(randVec(rr, d)) // b <= c by construction
+		return a.LE(b) && b.LE(c) && a.LE(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetLength(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	set := make([]Vector, 64)
+	for i := range set {
+		set[i] = randVec(r, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SetLength(set)
+	}
+}

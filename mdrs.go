@@ -1,0 +1,340 @@
+package mdrs
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mdrs/internal/baseline"
+	"mdrs/internal/contention"
+	"mdrs/internal/costmodel"
+	"mdrs/internal/engine"
+	"mdrs/internal/experiments"
+	"mdrs/internal/malleable"
+	"mdrs/internal/memsched"
+	"mdrs/internal/opt"
+	"mdrs/internal/optimizer"
+	"mdrs/internal/pipesim"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+	"mdrs/internal/sched"
+	"mdrs/internal/sim"
+	"mdrs/internal/vector"
+)
+
+// Re-exported types: the full public API surface of the library. Each
+// alias is documented at its definition site.
+type (
+	// Vector is a d-dimensional work vector (internal/vector).
+	Vector = vector.Vector
+	// Params holds the Table 2 cost parameters (internal/costmodel).
+	Params = costmodel.Params
+	// CostModel derives work vectors and degrees of parallelism.
+	CostModel = costmodel.Model
+	// OpKind identifies a physical operator (scan/build/probe/store).
+	OpKind = costmodel.OpKind
+	// OpSpec describes one operator instance for costing.
+	OpSpec = costmodel.OpSpec
+	// OpCost is a costed operator: processing vector plus interconnect bytes.
+	OpCost = costmodel.OpCost
+	// Overlap is the resource-overlap model ε of assumption EA2.
+	Overlap = resource.Overlap
+	// System is a set of P identical d-dimensional sites.
+	System = resource.System
+	// Site is one multi-resource site with its assigned clones.
+	Site = resource.Site
+	// Relation is a base relation of the catalog.
+	Relation = query.Relation
+	// PlanNode is a node of a bushy hash-join execution plan.
+	PlanNode = query.PlanNode
+	// GenConfig configures random plan generation.
+	GenConfig = query.GenConfig
+	// Operator is a node of the macro-expanded operator tree.
+	Operator = plan.Operator
+	// OperatorTree is the macro-expanded form of an execution plan.
+	OperatorTree = plan.OperatorTree
+	// Task is a query task (maximal pipelined subgraph).
+	Task = plan.Task
+	// TaskTree is the query task tree with its synchronized phases.
+	TaskTree = plan.TaskTree
+	// SchedOp is an operator instance presented to OperatorSchedule.
+	SchedOp = sched.Op
+	// SchedResult is the outcome of one OperatorSchedule packing.
+	SchedResult = sched.Result
+	// TreeScheduler runs the paper's TreeSchedule algorithm.
+	TreeScheduler = sched.TreeScheduler
+	// Schedule is a complete phased parallel schedule.
+	Schedule = sched.Schedule
+	// PhaseSchedule is the schedule of one synchronized phase.
+	PhaseSchedule = sched.PhaseSchedule
+	// OpPlacement records one operator's degree, sites, and clones.
+	OpPlacement = sched.OpPlacement
+	// MalleableScheduler is the Section 7 malleable-operator scheduler.
+	MalleableScheduler = malleable.Scheduler
+	// MalleableOperator is one malleable floating operator.
+	MalleableOperator = malleable.Operator
+	// Parallelization is a degree-of-parallelism vector.
+	Parallelization = malleable.Parallelization
+	// SynchronousScheduler is the one-dimensional baseline.
+	SynchronousScheduler = baseline.Synchronous
+	// SynchronousResult is the baseline's placement and response.
+	SynchronousResult = baseline.Result
+	// Dataset holds generated synthetic relations for one plan.
+	Dataset = engine.Dataset
+	// Engine executes scheduled plans over a Dataset.
+	Engine = engine.Engine
+	// EngineReport summarizes one engine execution.
+	EngineReport = engine.Report
+	// Tuple is one row flowing through the engine.
+	Tuple = engine.Tuple
+	// SiteComparison pairs analytic and fluid-simulated response times.
+	SiteComparison = sim.SiteComparison
+	// ExperimentConfig scales the Section 6 experiment harness.
+	ExperimentConfig = experiments.Config
+	// Figure is a regenerated evaluation figure.
+	Figure = experiments.Figure
+	// Series is one curve of a Figure.
+	Series = experiments.Series
+	// MemoryScheduler is the memory-aware TreeSchedule extension
+	// (non-preemptable resources, the paper's first open problem).
+	MemoryScheduler = memsched.Scheduler
+	// MemoryResult is the memory-aware schedule with spill accounting.
+	MemoryResult = memsched.Result
+	// ContentionPenalty holds per-resource time-sharing penalties γ_i
+	// (the paper's second open problem: imperfect preemptability).
+	ContentionPenalty = contention.Penalty
+	// PipeSimConfig tunes the explicit pipeline dataflow simulator.
+	PipeSimConfig = pipesim.Config
+	// PipeSimResult compares analytic vs pipeline-simulated response.
+	PipeSimResult = pipesim.Result
+	// PlanSearch is the scheduler-in-the-loop best-of-K plan selector.
+	PlanSearch = optimizer.Search
+	// PlanSearchResult holds the winning plan and every candidate.
+	PlanSearchResult = optimizer.Result
+	// Shape selects an execution-plan tree shape for generation.
+	Shape = query.Shape
+	// PhasePolicy selects how tasks pack into synchronized phases.
+	PhasePolicy = plan.PhasePolicy
+	// ScheduleStatsSummary summarizes a schedule's resource economics.
+	ScheduleStatsSummary = sched.Stats
+)
+
+// Plan shapes.
+const (
+	RandomBushy = query.RandomBushy
+	LeftDeep    = query.LeftDeep
+	RightDeep   = query.RightDeep
+	Balanced    = query.Balanced
+)
+
+// Phase policies.
+const (
+	MinShelf      = plan.MinShelf
+	EarliestShelf = plan.EarliestShelf
+)
+
+// Resource dimensions of the experimental 3-dimensional sites.
+const (
+	CPU  = resource.CPU
+	Disk = resource.Disk
+	Net  = resource.Net
+	// Dims is the site dimensionality used throughout the experiments.
+	Dims = resource.Dims
+)
+
+// Operator kinds.
+const (
+	Scan  = costmodel.Scan
+	Build = costmodel.Build
+	Probe = costmodel.Probe
+	Store = costmodel.Store
+)
+
+// DefaultParams returns the paper's Table 2 parameter settings.
+func DefaultParams() Params { return costmodel.DefaultParams() }
+
+// DefaultCostModel returns a cost model over DefaultParams.
+func DefaultCostModel() CostModel { return costmodel.Default() }
+
+// NewCostModel validates params and returns a cost model.
+func NewCostModel(p Params) (CostModel, error) { return costmodel.New(p) }
+
+// NewOverlap validates ε ∈ [0,1] and returns the overlap model.
+func NewOverlap(eps float64) (Overlap, error) { return resource.NewOverlap(eps) }
+
+// DefaultGenConfig returns the paper's workload settings (relations of
+// 10³–10⁵ tuples) for the given number of joins.
+func DefaultGenConfig(joins int) GenConfig { return query.DefaultGenConfig(joins) }
+
+// RandomPlan draws a random bushy hash-join plan.
+func RandomPlan(r *rand.Rand, cfg GenConfig) (*PlanNode, error) { return query.Random(r, cfg) }
+
+// MustRandomPlan is RandomPlan that panics on a bad configuration.
+func MustRandomPlan(r *rand.Rand, cfg GenConfig) *PlanNode { return query.MustRandom(r, cfg) }
+
+// DecodePlan parses and validates a JSON-encoded plan.
+func DecodePlan(data []byte) (*PlanNode, error) { return query.Decode(data) }
+
+// Expand macro-expands an execution plan into its operator tree.
+func Expand(p *PlanNode) (*OperatorTree, error) { return plan.Expand(p) }
+
+// ExpandMaterialized is Expand with a Store operator at the root: the
+// result is written to disk instead of streamed to the client.
+func ExpandMaterialized(p *PlanNode) (*OperatorTree, error) { return plan.ExpandMaterialized(p) }
+
+// NewTaskTree groups an operator tree into query tasks and phases.
+func NewTaskTree(ot *OperatorTree) (*TaskTree, error) { return plan.NewTaskTree(ot) }
+
+// PrepareQuery expands a plan and builds its task tree in one step.
+func PrepareQuery(p *PlanNode) (*OperatorTree, *TaskTree, error) {
+	ot, err := plan.Expand(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	tt, err := plan.NewTaskTree(ot)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ot, tt, nil
+}
+
+// Options configures the end-to-end convenience schedulers.
+type Options struct {
+	// Params defaults to the paper's Table 2 when zero.
+	Params Params
+	// Sites is the number of system sites P.
+	Sites int
+	// Epsilon is the resource overlap ε ∈ [0,1].
+	Epsilon float64
+	// F is the coarse-granularity parameter (TreeSchedule only).
+	F float64
+}
+
+func (o Options) normalize() (CostModel, Overlap, error) {
+	p := o.Params
+	if p == (Params{}) {
+		p = DefaultParams()
+	}
+	m, err := costmodel.New(p)
+	if err != nil {
+		return CostModel{}, Overlap{}, err
+	}
+	ov, err := resource.NewOverlap(o.Epsilon)
+	if err != nil {
+		return CostModel{}, Overlap{}, err
+	}
+	if o.Sites <= 0 {
+		return CostModel{}, Overlap{}, fmt.Errorf("mdrs: non-positive site count %d", o.Sites)
+	}
+	return m, ov, nil
+}
+
+// ScheduleQuery runs TreeSchedule on a plan end to end.
+func ScheduleQuery(p *PlanNode, o Options) (*Schedule, error) {
+	m, ov, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	_, tt, err := PrepareQuery(p)
+	if err != nil {
+		return nil, err
+	}
+	return sched.TreeScheduler{Model: m, Overlap: ov, P: o.Sites, F: o.F}.Schedule(tt)
+}
+
+// ScheduleQuerySynchronous runs the one-dimensional baseline on a plan
+// end to end.
+func ScheduleQuerySynchronous(p *PlanNode, o Options) (*SynchronousResult, error) {
+	m, ov, err := o.normalize()
+	if err != nil {
+		return nil, err
+	}
+	_, tt, err := PrepareQuery(p)
+	if err != nil {
+		return nil, err
+	}
+	return baseline.Synchronous{Model: m, Overlap: ov, P: o.Sites}.Schedule(tt)
+}
+
+// OptBound computes the Section 6.2 lower bound on the optimal CG_f
+// response time of a plan.
+func OptBound(p *PlanNode, o Options) (float64, error) {
+	m, ov, err := o.normalize()
+	if err != nil {
+		return 0, err
+	}
+	_, tt, err := PrepareQuery(p)
+	if err != nil {
+		return 0, err
+	}
+	return opt.Bound(tt, m, ov, o.Sites, o.F)
+}
+
+// OperatorSchedule exposes the paper's Figure 3 list-scheduling rule for
+// a set of independent operators with predetermined clone vectors.
+func OperatorSchedule(p, d int, ov Overlap, ops []*SchedOp) (*SchedResult, error) {
+	return sched.OperatorSchedule(p, d, ov, ops)
+}
+
+// ScheduleLowerBound returns LB(N) = max{l(S)/P, h(N)} for the given
+// operators; OperatorSchedule is provably within 2d+1 of it.
+func ScheduleLowerBound(p int, ov Overlap, ops []*SchedOp) float64 {
+	return sched.LowerBound(p, ov, ops)
+}
+
+// GenerateData creates synthetic FK-disciplined relations for a plan so
+// that every join's result size matches the optimizer's max rule.
+func GenerateData(p *PlanNode, seed int64) (*Dataset, error) { return engine.Generate(p, seed) }
+
+// SimulateSchedule replays a schedule through the fluid time-sharing
+// simulator and reports analytic vs simulated response.
+func SimulateSchedule(ov Overlap, s *Schedule) (SiteComparison, error) {
+	return sim.SimulateSchedule(ov, s)
+}
+
+// RandomShapedPlan draws a plan of the given shape (left-deep,
+// right-deep, balanced, or random bushy).
+func RandomShapedPlan(r *rand.Rand, cfg GenConfig, shape Shape) (*PlanNode, error) {
+	return query.RandomShaped(r, cfg, shape)
+}
+
+// DiskPenalty returns a contention penalty charging γ on the disk
+// dimension only.
+func DiskPenalty(gamma float64) ContentionPenalty {
+	return contention.DiskOnly(resource.Dims, gamma)
+}
+
+// EvalScheduleWithPenalty prices an existing schedule under imperfect
+// time-sharing: each resource's per-site load inflates by γ_i per extra
+// sharer. A nil penalty reproduces the schedule's own response.
+func EvalScheduleWithPenalty(ov Overlap, g ContentionPenalty, s *Schedule) (float64, error) {
+	return contention.EvalSchedule(ov, g, s)
+}
+
+// SimulatePipelines replays a schedule through the explicit pipeline
+// dataflow simulator, where consumers cannot outrun their producers.
+func SimulatePipelines(ov Overlap, s *Schedule, cfg PipeSimConfig) (*PipeSimResult, error) {
+	return pipesim.Simulate(ov, s, cfg)
+}
+
+// VerifySchedule checks every structural invariant of a schedule
+// (Definition 5.1 placement constraints, build→probe homes, Equation 3
+// consistency) and returns the first violation.
+func VerifySchedule(s *Schedule, ov Overlap) error { return sched.Verify(s, ov) }
+
+// EncodeScheduleJSON renders a schedule as stable, indented JSON.
+func EncodeScheduleJSON(s *Schedule) ([]byte, error) { return sched.EncodeJSON(s) }
+
+// WriteScheduleText renders per-phase site-load bars and utilization.
+func WriteScheduleText(w io.Writer, s *Schedule) error { return sched.WriteText(w, s) }
+
+// ScheduleStats summarizes a schedule's resource economics.
+func ScheduleStats(s *Schedule) sched.Stats { return s.Stats() }
+
+// DefaultExperiments returns the paper-scale experiment configuration
+// (20 queries per point, 10–140 sites).
+func DefaultExperiments() ExperimentConfig { return experiments.Default() }
+
+// QuickExperiments returns a scaled-down experiment configuration.
+func QuickExperiments() ExperimentConfig { return experiments.Quick() }

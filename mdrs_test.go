@@ -1,0 +1,189 @@
+package mdrs_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdrs"
+)
+
+// TestEndToEndPipeline drives the whole system through the public API:
+// generate a plan, schedule it three ways, bound it, execute it on real
+// data, and replay it through the fluid simulator.
+func TestEndToEndPipeline(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	plan := mdrs.MustRandomPlan(r, mdrs.GenConfig{Joins: 8, MinTuples: 2000, MaxTuples: 20000})
+	o := mdrs.Options{Sites: 16, Epsilon: 0.5, F: 0.7}
+
+	tree, err := mdrs.ScheduleQuery(plan, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := mdrs.ScheduleQuerySynchronous(plan, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := mdrs.OptBound(plan, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if tree.Response < bound-1e-9 {
+		t.Fatalf("TreeSchedule %g below OPTBOUND %g", tree.Response, bound)
+	}
+	if sync.Response < bound-1e-9 {
+		t.Fatalf("Synchronous %g below OPTBOUND %g", sync.Response, bound)
+	}
+	if tree.Response >= sync.Response {
+		t.Fatalf("TreeSchedule %g not better than Synchronous %g", tree.Response, sync.Response)
+	}
+	ovCheck, err := mdrs.NewOverlap(o.Epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mdrs.VerifySchedule(tree, ovCheck); err != nil {
+		t.Fatalf("TreeSchedule failed verification: %v", err)
+	}
+
+	// Execute the schedule on synthetic data.
+	ds, err := mdrs.GenerateData(plan, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := mdrs.NewOverlap(o.Epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mdrs.Engine{Model: mdrs.DefaultCostModel(), Overlap: ov, Parallel: true}.Run(ds, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResultTuples != plan.Tuples {
+		t.Fatalf("engine result %d != optimizer cardinality %d", rep.ResultTuples, plan.Tuples)
+	}
+
+	// Replay through the fluid simulator.
+	cmp, err := mdrs.SimulateSchedule(ov, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmp.Analytic-tree.Response) > 1e-6 {
+		t.Fatalf("simulator analytic %g != schedule response %g", cmp.Analytic, tree.Response)
+	}
+	if cmp.Simulated < cmp.Analytic-1e-9 {
+		t.Fatalf("simulated %g below analytic %g", cmp.Simulated, cmp.Analytic)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	plan := mdrs.MustRandomPlan(r, mdrs.DefaultGenConfig(3))
+	cases := []mdrs.Options{
+		{Sites: 0, Epsilon: 0.5, F: 0.7},
+		{Sites: 4, Epsilon: -1, F: 0.7},
+		{Sites: 4, Epsilon: 0.5, F: -1},
+	}
+	for i, o := range cases {
+		if _, err := mdrs.ScheduleQuery(plan, o); err == nil {
+			t.Errorf("case %d: ScheduleQuery accepted", i)
+		}
+	}
+	// Synchronous ignores F, so only the first two are invalid for it.
+	for i, o := range cases[:2] {
+		if _, err := mdrs.ScheduleQuerySynchronous(plan, o); err == nil {
+			t.Errorf("case %d: ScheduleQuerySynchronous accepted", i)
+		}
+	}
+}
+
+func TestCustomParamsFlowThrough(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	plan := mdrs.MustRandomPlan(r, mdrs.DefaultGenConfig(4))
+	fast := mdrs.DefaultParams()
+	fast.MIPS = 100 // 100x faster CPUs shrink response
+	slowOpts := mdrs.Options{Sites: 8, Epsilon: 0.5, F: 0.7}
+	fastOpts := mdrs.Options{Params: fast, Sites: 8, Epsilon: 0.5, F: 0.7}
+	slow, err := mdrs.ScheduleQuery(plan, slowOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, err := mdrs.ScheduleQuery(plan, fastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick.Response >= slow.Response {
+		t.Fatalf("faster CPU did not reduce response: %g vs %g",
+			quick.Response, slow.Response)
+	}
+}
+
+func TestOperatorScheduleFacade(t *testing.T) {
+	ov, err := mdrs.NewOverlap(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []*mdrs.SchedOp{
+		{ID: 0, Clones: []mdrs.Vector{{10, 0}}},
+		{ID: 1, Clones: []mdrs.Vector{{0, 10}}},
+	}
+	res, err := mdrs.OperatorSchedule(1, 2, ov, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complementary vectors overlap perfectly on one site under ε = 1.
+	if math.Abs(res.Response-10) > 1e-9 {
+		t.Fatalf("response = %g, want 10", res.Response)
+	}
+	lb := mdrs.ScheduleLowerBound(1, ov, ops)
+	if res.Response < lb-1e-9 {
+		t.Fatalf("response %g below LB %g", res.Response, lb)
+	}
+}
+
+func TestMalleableFacade(t *testing.T) {
+	m := mdrs.DefaultCostModel()
+	ov, _ := mdrs.NewOverlap(0.5)
+	ms := mdrs.MalleableScheduler{Model: m, Overlap: ov, P: 8}
+	ops := []mdrs.MalleableOperator{
+		{ID: 0, Cost: m.Cost(mdrs.OpSpec{Kind: mdrs.Scan, InTuples: 50000, NetOut: true})},
+		{ID: 1, Cost: m.Cost(mdrs.OpSpec{Kind: mdrs.Scan, InTuples: 20000, NetOut: true})},
+	}
+	res, err := ms.Schedule(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Response < res.LB-1e-9 || res.Schedule.Response > 7*res.LB+1e-9 {
+		t.Fatalf("response %g outside [LB, 7·LB] = [%g, %g]",
+			res.Schedule.Response, res.LB, 7*res.LB)
+	}
+}
+
+func TestTreeScheduleBeatsSynchronousAcrossSweeps(t *testing.T) {
+	// A compact end-to-end sanity sweep over the public API mirroring
+	// the paper's headline result at f = 0.7.
+	r := rand.New(rand.NewSource(3))
+	for _, sites := range []int{10, 40, 120} {
+		for _, eps := range []float64{0.1, 0.5} {
+			var sumT, sumS float64
+			for trial := 0; trial < 3; trial++ {
+				plan := mdrs.MustRandomPlan(r, mdrs.DefaultGenConfig(15))
+				o := mdrs.Options{Sites: sites, Epsilon: eps, F: 0.7}
+				st, err := mdrs.ScheduleQuery(plan, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ss, err := mdrs.ScheduleQuerySynchronous(plan, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sumT += st.Response
+				sumS += ss.Response
+			}
+			if sumT >= sumS {
+				t.Fatalf("P=%d ε=%g: TreeSchedule total %g not better than Synchronous %g",
+					sites, eps, sumT, sumS)
+			}
+		}
+	}
+}
