@@ -1,0 +1,33 @@
+# Development targets for the mdrs reproduction. `make check` is the
+# gate future PRs must keep green: build, vet, and the full test suite
+# under the race detector (which also exercises the experiments worker
+# pool for data races).
+
+GO ?= go
+
+.PHONY: check build vet test race bench bench-placement figures
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Placement micro-benchmark tracked in BENCH_sched.json.
+bench-placement:
+	$(GO) test ./internal/sched -run '^$$' -bench BenchmarkOperatorSchedulePlacement -benchmem
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Regenerate every Section 6 figure with per-figure timings.
+figures:
+	$(GO) run ./cmd/mdrs-bench -csv -benchjson BENCH_figures.json

@@ -6,14 +6,24 @@
 //
 //	mdrs-bench [-fig 5a|5b|6a|6b|malleable|order|shelf|contention|memory|
 //	            shape|plansearch|pipeline|batch|decluster|all] [-table2]
-//	           [-queries N] [-seed S] [-quick]
+//	           [-queries N] [-seed S] [-quick] [-workers N]
+//	           [-benchjson FILE]
+//
+// -workers bounds the goroutine pool that fans out each figure's
+// per-query trials (0 = GOMAXPROCS); the output is byte-identical for
+// every worker count. -benchjson additionally records per-figure
+// regeneration wall times to FILE as JSON (the BENCH_sched.json format
+// tracked at the repository root), so successive PRs can compare the
+// harness's performance trajectory mechanically.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"mdrs/internal/experiments"
 )
@@ -40,6 +50,23 @@ var figureOrder = []string{"5a", "5b", "6a", "6b", "malleable", "order",
 	"shelf", "contention", "memory", "shape", "plansearch", "pipeline",
 	"batch", "decluster"}
 
+// benchReport is the machine-readable timing record written by
+// -benchjson: configuration knobs that affect the numbers plus one wall
+// time per regenerated figure.
+type benchReport struct {
+	Queries      int            `json:"queries"`
+	Seed         int64          `json:"seed"`
+	Workers      int            `json:"workers"`
+	Quick        bool           `json:"quick"`
+	Figures      []figureTiming `json:"figures"`
+	TotalSeconds float64        `json:"total_seconds"`
+}
+
+type figureTiming struct {
+	Figure  string  `json:"figure"`
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (see usage) or all")
 	table2 := flag.Bool("table2", false, "print Table 2 (experiment parameter settings)")
@@ -47,6 +74,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "override workload seed")
 	quick := flag.Bool("quick", false, "use the scaled-down Quick configuration")
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
+	benchJSON := flag.String("benchjson", "", "write per-figure timings as JSON to this file")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -59,41 +88,64 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	if *table2 {
 		fmt.Print(experiments.Table2(cfg))
 		fmt.Println()
 	}
 
-	if err := emit(os.Stdout, cfg, *fig, *asCSV); err != nil {
+	report, err := emit(os.Stdout, cfg, *fig, *asCSV)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
 		os.Exit(1)
+	}
+	if *benchJSON != "" {
+		report.Quick = *quick
+		if err := writeReport(*benchJSON, report); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
 // emit regenerates one figure (or all of them) into w, as aligned text
-// or CSV.
-func emit(w io.Writer, cfg experiments.Config, name string, asCSV bool) error {
+// or CSV, timing each regeneration for the bench report.
+func emit(w io.Writer, cfg experiments.Config, name string, asCSV bool) (*benchReport, error) {
 	names := []string{name}
 	if name == "all" {
 		names = figureOrder
 	}
+	report := &benchReport{Queries: cfg.Queries, Seed: cfg.Seed, Workers: cfg.Workers}
 	for _, n := range names {
 		fn, ok := figures[n]
 		if !ok {
-			return fmt.Errorf("unknown figure %q", n)
+			return nil, fmt.Errorf("unknown figure %q", n)
 		}
+		start := time.Now()
 		f, err := fn(cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", n, err)
+			return nil, fmt.Errorf("%s: %w", n, err)
 		}
+		secs := time.Since(start).Seconds()
+		report.Figures = append(report.Figures, figureTiming{Figure: n, Seconds: secs})
+		report.TotalSeconds += secs
 		write := experiments.WriteText
 		if asCSV {
 			write = experiments.WriteCSV
 		}
 		if err := write(w, f); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return report, nil
+}
+
+// writeReport marshals the timing report to path.
+func writeReport(path string, r *benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -16,17 +19,24 @@ func testConfig() experiments.Config {
 
 func TestEmitSingleFigure(t *testing.T) {
 	var sb strings.Builder
-	if err := emit(&sb, testConfig(), "6b", false); err != nil {
+	report, err := emit(&sb, testConfig(), "6b", false)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Figure 6b") {
 		t.Fatalf("output missing figure header:\n%s", sb.String()[:100])
 	}
+	if len(report.Figures) != 1 || report.Figures[0].Figure != "6b" {
+		t.Fatalf("report figures = %+v, want one entry for 6b", report.Figures)
+	}
+	if report.Figures[0].Seconds < 0 || report.TotalSeconds < report.Figures[0].Seconds {
+		t.Fatalf("implausible timings: %+v total %g", report.Figures, report.TotalSeconds)
+	}
 }
 
 func TestEmitUnknownFigure(t *testing.T) {
 	var sb strings.Builder
-	if err := emit(&sb, testConfig(), "9z", false); err == nil {
+	if _, err := emit(&sb, testConfig(), "9z", false); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
@@ -36,7 +46,8 @@ func TestEmitAllCoversEveryRegisteredFigure(t *testing.T) {
 		t.Skip("full figure sweep")
 	}
 	var sb strings.Builder
-	if err := emit(&sb, testConfig(), "all", false); err != nil {
+	report, err := emit(&sb, testConfig(), "all", false)
+	if err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -48,11 +59,14 @@ func TestEmitAllCoversEveryRegisteredFigure(t *testing.T) {
 	if len(figures) != len(figureOrder) {
 		t.Fatalf("registry has %d figures, order lists %d", len(figures), len(figureOrder))
 	}
+	if len(report.Figures) != len(figureOrder) {
+		t.Fatalf("report covers %d figures, want %d", len(report.Figures), len(figureOrder))
+	}
 }
 
 func TestEmitCSV(t *testing.T) {
 	var sb strings.Builder
-	if err := emit(&sb, testConfig(), "6b", true); err != nil {
+	if _, err := emit(&sb, testConfig(), "6b", true); err != nil {
 		t.Fatal(err)
 	}
 	first := strings.SplitN(sb.String(), "\n", 2)[0]
@@ -63,7 +77,36 @@ func TestEmitCSV(t *testing.T) {
 
 func TestEmitRejectsInvalidConfig(t *testing.T) {
 	var sb strings.Builder
-	if err := emit(&sb, experiments.Config{}, "5a", false); err == nil {
+	if _, err := emit(&sb, experiments.Config{}, "5a", false); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// The -benchjson report must round-trip as machine-readable JSON with
+// the fields future PRs diff against.
+func TestWriteReport(t *testing.T) {
+	var sb strings.Builder
+	cfg := testConfig()
+	report, err := emit(&sb, cfg, "order", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_sched.json")
+	if err := writeReport(path, report); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got benchReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Queries != cfg.Queries || got.Seed != cfg.Seed {
+		t.Fatalf("report config = %+v, want queries %d seed %d", got, cfg.Queries, cfg.Seed)
+	}
+	if len(got.Figures) != 1 || got.Figures[0].Figure != "order" {
+		t.Fatalf("report figures = %+v", got.Figures)
 	}
 }

@@ -69,7 +69,7 @@ func ExampleOptBound() {
 	lb, _ := mdrs.OptBound(plan, o)
 	fmt.Printf("within %.2fx of the optimal lower bound\n", s.Response/lb)
 	// Output:
-	// within 1.03x of the optimal lower bound
+	// within 1.04x of the optimal lower bound
 }
 
 // ExampleVerifySchedule validates a schedule's structural invariants.

@@ -13,8 +13,10 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"mdrs/internal/baseline"
 	"mdrs/internal/contention"
@@ -41,6 +43,12 @@ type Config struct {
 	Seed int64
 	// Sites is the system-size sweep for figures with P on the x-axis.
 	Sites []int
+	// Workers bounds the goroutine pool that fans out the per-query
+	// trials of each data point. Values <= 0 mean GOMAXPROCS. Every
+	// figure is byte-identical across worker counts: trials are
+	// independent (randomized trials derive a private per-query seed) and
+	// per-point aggregation always reduces in query order.
+	Workers int
 }
 
 // Default reproduces the paper's experimental scale: 20 queries per
@@ -51,6 +59,7 @@ func Default() Config {
 		Queries: 20,
 		Seed:    1996, // SIGMOD '96
 		Sites:   []int{10, 20, 40, 60, 80, 100, 120, 140},
+		Workers: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -61,6 +70,7 @@ func Quick() Config {
 		Queries: 4,
 		Seed:    1996,
 		Sites:   []int{10, 40, 80, 140},
+		Workers: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -81,6 +91,79 @@ func (c Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// workers returns the effective trial-pool width.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// seedStride separates the derived per-query seed streams from the
+// per-point `c.Seed + joins` / `c.Seed + p` workload seeds, so no two
+// trials (and no trial and workload) ever share a generator state.
+const seedStride = 1_000_003
+
+// trialSeed derives the private seed of trial q within the stream
+// identified by base (a figure-specific function of the data point).
+func (c Config) trialSeed(base, q int64) int64 {
+	return c.Seed + base + (q+1)*seedStride
+}
+
+// forEach runs fn(0..n-1) across the worker pool and returns the
+// lowest-index error. With one worker (or n <= 1) it degenerates to the
+// plain serial loop. Callers communicate results positionally through
+// slices indexed by i, so the aggregate — and therefore every figure —
+// is identical for any pool width.
+func (c Config) forEach(n int, fn func(i int) error) error {
+	w := c.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mean reduces per-trial responses in query order; fixing the float
+// summation order is what keeps parallel figures bit-equal to serial
+// ones.
+func mean(ys []float64) float64 {
+	sum := 0.0
+	for _, y := range ys {
+		sum += y
+	}
+	return sum / float64(len(ys))
 }
 
 // Series is one curve of a figure.
@@ -108,16 +191,20 @@ func (c Config) workload(joins int) ([]*plan.TaskTree, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Plan generation above stays serial (one shared generator keeps the
+	// plan set identical to the paper runs); the deterministic expansion
+	// of each plan into a task tree fans out across the pool.
 	trees := make([]*plan.TaskTree, len(plans))
-	for i, p := range plans {
-		ot, err := plan.Expand(p)
+	err = c.forEach(len(plans), func(i int) error {
+		ot, err := plan.Expand(plans[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trees[i], err = plan.NewTaskTree(ot)
-		if err != nil {
-			return nil, err
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return trees, nil
 }
@@ -127,43 +214,55 @@ func (c Config) avgTree(trees []*plan.TaskTree, p int, eps, f float64) (float64,
 	ts := sched.TreeScheduler{
 		Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
 	}
-	sum := 0.0
-	for _, tt := range trees {
-		s, err := ts.Schedule(tt)
+	ys := make([]float64, len(trees))
+	err := c.forEach(len(trees), func(i int) error {
+		s, err := ts.Schedule(trees[i])
 		if err != nil {
-			return 0, err
+			return err
 		}
-		sum += s.Response
+		ys[i] = s.Response
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(len(trees)), nil
+	return mean(ys), nil
 }
 
 // avgSync returns the mean SYNCHRONOUS response over the workload.
 func (c Config) avgSync(trees []*plan.TaskTree, p int, eps float64) (float64, error) {
 	b := baseline.Synchronous{Model: c.Model, Overlap: resource.MustOverlap(eps), P: p}
-	sum := 0.0
-	for _, tt := range trees {
-		s, err := b.Schedule(tt)
+	ys := make([]float64, len(trees))
+	err := c.forEach(len(trees), func(i int) error {
+		s, err := b.Schedule(trees[i])
 		if err != nil {
-			return 0, err
+			return err
 		}
-		sum += s.Response
+		ys[i] = s.Response
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(len(trees)), nil
+	return mean(ys), nil
 }
 
 // avgBound returns the mean OPTBOUND over the workload.
 func (c Config) avgBound(trees []*plan.TaskTree, p int, eps, f float64) (float64, error) {
 	ov := resource.MustOverlap(eps)
-	sum := 0.0
-	for _, tt := range trees {
-		b, err := opt.Bound(tt, c.Model, ov, p, f)
+	ys := make([]float64, len(trees))
+	err := c.forEach(len(trees), func(i int) error {
+		b, err := opt.Bound(trees[i], c.Model, ov, p, f)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		sum += b
+		ys[i] = b
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(len(trees)), nil
+	return mean(ys), nil
 }
 
 // Fig5a regenerates Figure 5(a): the effect of the granularity
@@ -356,28 +455,33 @@ func Malleable(c Config) (*Figure, error) {
 	sl := Series{Name: "LB of chosen N"}
 	for _, p := range c.Sites {
 		ms := malleable.Scheduler{Model: c.Model, Overlap: resource.MustOverlap(eps), P: p}
-		var sumM, sumC, sumL float64
-		for _, tt := range trees {
-			ops := firstPhaseOperators(c.Model, tt)
+		ym := make([]float64, len(trees))
+		yc := make([]float64, len(trees))
+		yl := make([]float64, len(trees))
+		err := c.forEach(len(trees), func(i int) error {
+			ops := firstPhaseOperators(c.Model, trees[i])
 			resM, err := ms.Schedule(ops)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			resC, err := ms.ScheduleFixed(ops, ms.CoarseGrainParallelization(ops, f))
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumM += resM.Schedule.Response
-			sumC += resC.Schedule.Response
-			sumL += resM.LB
+			ym[i] = resM.Schedule.Response
+			yc[i] = resC.Schedule.Response
+			yl[i] = resM.LB
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		q := float64(len(trees))
 		sm.X = append(sm.X, float64(p))
-		sm.Y = append(sm.Y, sumM/q)
+		sm.Y = append(sm.Y, mean(ym))
 		sc.X = append(sc.X, float64(p))
-		sc.Y = append(sc.Y, sumC/q)
+		sc.Y = append(sc.Y, mean(yc))
 		sl.X = append(sl.X, float64(p))
-		sl.Y = append(sl.Y, sumL/q)
+		sl.Y = append(sl.Y, mean(yl))
 	}
 	fig.Series = append(fig.Series, sm, sc, sl)
 	return fig, nil
@@ -418,25 +522,29 @@ func OrderAblation(c Config) (*Figure, error) {
 	sSorted := Series{Name: "sorted (paper)"}
 	sRaw := Series{Name: "arrival order"}
 	for _, p := range c.Sites {
-		var sumS, sumR float64
-		for _, tt := range trees {
-			ops := firstPhaseSchedOps(c.Model, ov, tt, p, f)
+		ysort := make([]float64, len(trees))
+		yraw := make([]float64, len(trees))
+		err := c.forEach(len(trees), func(i int) error {
+			ops := firstPhaseSchedOps(c.Model, ov, trees[i], p, f)
 			rs, err := sched.OperatorSchedule(p, resource.Dims, ov, ops)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rr, err := sched.OperatorScheduleUnordered(p, resource.Dims, ov, ops)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumS += rs.Response
-			sumR += rr.Response
+			ysort[i] = rs.Response
+			yraw[i] = rr.Response
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		q := float64(len(trees))
 		sSorted.X = append(sSorted.X, float64(p))
-		sSorted.Y = append(sSorted.Y, sumS/q)
+		sSorted.Y = append(sSorted.Y, mean(ysort))
 		sRaw.X = append(sRaw.X, float64(p))
-		sRaw.Y = append(sRaw.Y, sumR/q)
+		sRaw.Y = append(sRaw.Y, mean(yraw))
 	}
 	fig.Series = append(fig.Series, sSorted, sRaw)
 	return fig, nil
@@ -476,28 +584,32 @@ func ShelfAblation(c Config) (*Figure, error) {
 	sMin := Series{Name: "MinShelf (paper)"}
 	sEarly := Series{Name: "EarliestShelf"}
 	for _, p := range c.Sites {
-		var sumMin, sumEarly float64
-		for _, tt := range trees {
+		ymin := make([]float64, len(trees))
+		yearly := make([]float64, len(trees))
+		err := c.forEach(len(trees), func(i int) error {
 			base := sched.TreeScheduler{
 				Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
 			}
-			sm, err := base.Schedule(tt)
+			sm, err := base.Schedule(trees[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			base.Policy = plan.EarliestShelf
-			se, err := base.Schedule(tt)
+			se, err := base.Schedule(trees[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumMin += sm.Response
-			sumEarly += se.Response
+			ymin[i] = sm.Response
+			yearly[i] = se.Response
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		q := float64(len(trees))
 		sMin.X = append(sMin.X, float64(p))
-		sMin.Y = append(sMin.Y, sumMin/q)
+		sMin.Y = append(sMin.Y, mean(ymin))
 		sEarly.X = append(sEarly.X, float64(p))
-		sEarly.Y = append(sEarly.Y, sumEarly/q)
+		sEarly.Y = append(sEarly.Y, mean(yearly))
 	}
 	fig.Series = append(fig.Series, sMin, sEarly)
 	return fig, nil
@@ -528,24 +640,30 @@ func ContentionAblation(c Config) (*Figure, error) {
 		series[i] = Series{Name: fmt.Sprintf("TreeSchedule @ γ_disk=%.1f", g)}
 	}
 	for _, p := range c.Sites {
-		sums := make([]float64, len(gammas))
-		for _, tt := range trees {
-			s, err := sched.TreeScheduler{Model: c.Model, Overlap: ov, P: p, F: f}.Schedule(tt)
+		ys := make([][]float64, len(gammas))
+		for i := range ys {
+			ys[i] = make([]float64, len(trees))
+		}
+		err := c.forEach(len(trees), func(t int) error {
+			s, err := sched.TreeScheduler{Model: c.Model, Overlap: ov, P: p, F: f}.Schedule(trees[t])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for i, g := range gammas {
 				r, err := contention.EvalSchedule(ov, contention.DiskOnly(resource.Dims, g), s)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				sums[i] += r
+				ys[i][t] = r
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		q := float64(len(trees))
 		for i := range gammas {
 			series[i].X = append(series[i].X, float64(p))
-			series[i].Y = append(series[i].Y, sums[i]/q)
+			series[i].Y = append(series[i].Y, mean(ys[i]))
 		}
 	}
 	fig.Series = append(fig.Series, series...)
@@ -581,24 +699,28 @@ func MemoryAblation(c Config) (*Figure, error) {
 		if math.IsInf(mb, 1) {
 			s.MemoryBytes = math.Inf(1)
 		}
-		var sumResp, sumSpill float64
-		for _, tt := range trees {
-			res, err := s.Schedule(tt)
+		yresp := make([]float64, len(trees))
+		yspill := make([]float64, len(trees))
+		err := c.forEach(len(trees), func(i int) error {
+			res, err := s.Schedule(trees[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumResp += res.Response
-			sumSpill += res.TotalSpilledBytes
+			yresp[i] = res.Response
+			yspill[i] = res.TotalSpilledBytes
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		q := float64(len(trees))
 		x := mb
 		if math.IsInf(mb, 1) {
 			x = 1024 // plot the A1 point at the right edge
 		}
 		sResp.X = append(sResp.X, x)
-		sResp.Y = append(sResp.Y, sumResp/q)
+		sResp.Y = append(sResp.Y, mean(yresp))
 		sSpill.X = append(sSpill.X, x)
-		sSpill.Y = append(sSpill.Y, sumSpill/q/(1<<20))
+		sSpill.Y = append(sSpill.Y, mean(yspill)/(1<<20))
 	}
 	fig.Series = append(fig.Series, sResp, sSpill)
 	return fig, nil
@@ -623,37 +745,43 @@ func ShapeAblation(c Config) (*Figure, error) {
 	st := Series{Name: "TreeSchedule"}
 	ss := Series{Name: "Synchronous"}
 	for xi, shape := range shapes {
-		r := rand.New(rand.NewSource(c.Seed + int64(joins)))
-		var sumT, sumS float64
-		for q := 0; q < c.Queries; q++ {
+		yt := make([]float64, c.Queries)
+		ys := make([]float64, c.Queries)
+		// Each trial owns a derived seed, so plan generation is
+		// independent of its neighbors and identical at any pool width.
+		err := c.forEach(c.Queries, func(q int) error {
+			r := rand.New(rand.NewSource(c.trialSeed(int64(joins)+int64(xi), int64(q))))
 			pl, err := query.RandomShaped(r, query.DefaultGenConfig(joins), shape)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tt, err := plan.NewTaskTree(plan.MustExpand(pl))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sTree, err := sched.TreeScheduler{
 				Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
 			}.Schedule(tt)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sSync, err := baseline.Synchronous{
 				Model: c.Model, Overlap: resource.MustOverlap(eps), P: p,
 			}.Schedule(tt)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumT += sTree.Response
-			sumS += sSync.Response
+			yt[q] = sTree.Response
+			ys[q] = sSync.Response
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		q := float64(c.Queries)
 		st.X = append(st.X, float64(xi))
-		st.Y = append(st.Y, sumT/q)
+		st.Y = append(st.Y, mean(yt))
 		ss.X = append(ss.X, float64(xi))
-		ss.Y = append(ss.Y, sumS/q)
+		ss.Y = append(ss.Y, mean(ys))
 	}
 	fig.Series = append(fig.Series, st, ss)
 	return fig, nil
@@ -680,25 +808,31 @@ func PlanSearchAblation(c Config) (*Figure, error) {
 			Model: c.Model, Overlap: resource.MustOverlap(eps),
 			P: p, F: f, Candidates: k,
 		}
-		r := rand.New(rand.NewSource(c.Seed + int64(p)))
-		var sumFirst, sumBest float64
-		for q := 0; q < c.Queries; q++ {
+		yfirst := make([]float64, c.Queries)
+		ybest := make([]float64, c.Queries)
+		err := c.forEach(c.Queries, func(q int) error {
+			// The trial's generator feeds both the relation catalog and
+			// the plan search; deriving it per query decouples trials.
+			r := rand.New(rand.NewSource(c.trialSeed(int64(p), int64(q))))
 			rels, err := optimizer.RandomRelations(r, joins+1, 1_000, 100_000)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := search.Best(r, rels)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumFirst += res.Candidates[0].Schedule.Response
-			sumBest += res.Best.Schedule.Response
+			yfirst[q] = res.Candidates[0].Schedule.Response
+			ybest[q] = res.Best.Schedule.Response
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		q := float64(c.Queries)
 		sFirst.X = append(sFirst.X, float64(p))
-		sFirst.Y = append(sFirst.Y, sumFirst/q)
+		sFirst.Y = append(sFirst.Y, mean(yfirst))
 		sBest.X = append(sBest.X, float64(p))
-		sBest.Y = append(sBest.Y, sumBest/q)
+		sBest.Y = append(sBest.Y, mean(ybest))
 	}
 	fig.Series = append(fig.Series, sFirst, sBest)
 	return fig, nil
@@ -728,18 +862,28 @@ func PipelineAblation(c Config) (*Figure, error) {
 	sp := Series{Name: "pipeline dataflow sim"}
 	sr := Series{Name: "ratio"}
 	for _, p := range c.Sites {
-		var sumA, sumP float64
-		for _, tt := range trees {
-			s, err := sched.TreeScheduler{Model: c.Model, Overlap: ov, P: p, F: f}.Schedule(tt)
+		ya := make([]float64, len(trees))
+		yp := make([]float64, len(trees))
+		err := c.forEach(len(trees), func(i int) error {
+			s, err := sched.TreeScheduler{Model: c.Model, Overlap: ov, P: p, F: f}.Schedule(trees[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := pipesim.Simulate(ov, s, pipesim.Config{Steps: 400})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumA += res.Analytic
-			sumP += res.Simulated
+			ya[i] = res.Analytic
+			yp[i] = res.Simulated
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sumA, sumP := 0.0, 0.0
+		for i := range ya {
+			sumA += ya[i]
+			sumP += yp[i]
 		}
 		q := float64(len(trees))
 		sa.X = append(sa.X, float64(p))
@@ -777,34 +921,37 @@ func BatchAblation(c Config) (*Figure, error) {
 		ts := sched.TreeScheduler{
 			Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
 		}
-		var sumSerial, sumBatch float64
-		groups := 0
-		for start := 0; start+batch <= len(trees); start += batch {
-			group := trees[start : start+batch]
+		groups := len(trees) / batch
+		if groups == 0 {
+			return nil, fmt.Errorf("experiments: need at least %d queries for the batch ablation", batch)
+		}
+		yserial := make([]float64, groups)
+		ybatch := make([]float64, groups)
+		err := c.forEach(groups, func(g int) error {
+			group := trees[g*batch : (g+1)*batch]
 			serial := 0.0
 			for _, tt := range group {
 				s, err := ts.Schedule(tt)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				serial += s.Response
 			}
 			b, err := ts.ScheduleBatch(group)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumSerial += serial
-			sumBatch += b.Response
-			groups++
+			yserial[g] = serial
+			ybatch[g] = b.Response
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		if groups == 0 {
-			return nil, fmt.Errorf("experiments: need at least %d queries for the batch ablation", batch)
-		}
-		q := float64(groups)
 		sSerial.X = append(sSerial.X, float64(p))
-		sSerial.Y = append(sSerial.Y, sumSerial/q)
+		sSerial.Y = append(sSerial.Y, mean(yserial))
 		sBatch.X = append(sBatch.X, float64(p))
-		sBatch.Y = append(sBatch.Y, sumBatch/q)
+		sBatch.Y = append(sBatch.Y, mean(ybatch))
 	}
 	fig.Series = append(fig.Series, sSerial, sBatch)
 	return fig, nil
@@ -834,31 +981,37 @@ func DeclusterAblation(c Config) (*Figure, error) {
 		ts := sched.TreeScheduler{
 			Model: c.Model, Overlap: resource.MustOverlap(eps), P: p, F: f,
 		}
-		r := rand.New(rand.NewSource(c.Seed + int64(p)))
-		var sumFloat, sumRooted float64
-		for _, tt := range trees {
-			sf, err := ts.Schedule(tt)
+		yfloat := make([]float64, len(trees))
+		yrooted := make([]float64, len(trees))
+		err := c.forEach(len(trees), func(i int) error {
+			sf, err := ts.Schedule(trees[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			homes, err := ts.RandomDeclustering(r, tt)
+			// Each tree draws its random declustering from a private
+			// derived generator so trials stay order-independent.
+			r := rand.New(rand.NewSource(c.trialSeed(int64(p), int64(i))))
+			homes, err := ts.RandomDeclustering(r, trees[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rooted := ts
 			rooted.Homes = homes
-			sr, err := rooted.Schedule(tt)
+			sr, err := rooted.Schedule(trees[i])
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sumFloat += sf.Response
-			sumRooted += sr.Response
+			yfloat[i] = sf.Response
+			yrooted[i] = sr.Response
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		q := float64(len(trees))
 		sFloat.X = append(sFloat.X, float64(p))
-		sFloat.Y = append(sFloat.Y, sumFloat/q)
+		sFloat.Y = append(sFloat.Y, mean(yfloat))
 		sRooted.X = append(sRooted.X, float64(p))
-		sRooted.Y = append(sRooted.Y, sumRooted/q)
+		sRooted.Y = append(sRooted.Y, mean(yrooted))
 	}
 	fig.Series = append(fig.Series, sFloat, sRooted)
 	return fig, nil

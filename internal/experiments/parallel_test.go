@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// allFigures names every figure generator the harness parallelizes.
+var allFigures = map[string]func(Config) (*Figure, error){
+	"5a":         Fig5a,
+	"5b":         Fig5b,
+	"6a":         Fig6a,
+	"6b":         Fig6b,
+	"malleable":  Malleable,
+	"order":      OrderAblation,
+	"shelf":      ShelfAblation,
+	"contention": ContentionAblation,
+	"memory":     MemoryAblation,
+	"shape":      ShapeAblation,
+	"plansearch": PlanSearchAblation,
+	"pipeline":   PipelineAblation,
+	"batch":      BatchAblation,
+	"decluster":  DeclusterAblation,
+}
+
+func figureCSV(t *testing.T, fn func(Config) (*Figure, error), c Config) string {
+	t.Helper()
+	fig, err := fn(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// Every figure must render byte-identical CSV with a single worker and
+// with a full GOMAXPROCS pool: per-trial work is independent and the
+// reductions run in query order. Running this test under -race also
+// exercises the worker pool for data races across every figure's trial
+// closure (the Makefile `check` target does exactly that).
+func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
+	for name, fn := range allFigures {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serial := Quick()
+			serial.Workers = 1
+			pooled := Quick()
+			pooled.Workers = runtime.GOMAXPROCS(0)
+			got := figureCSV(t, fn, pooled)
+			want := figureCSV(t, fn, serial)
+			if got != want {
+				t.Fatalf("Workers=%d CSV differs from Workers=1:\n--- parallel ---\n%s--- serial ---\n%s",
+					pooled.Workers, got, want)
+			}
+		})
+	}
+}
+
+// Workers <= 0 must mean "use GOMAXPROCS", not "serial only" and not an
+// error, so hand-built Configs from before the field existed keep
+// working and keep their output.
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	c := Quick()
+	c.Workers = 0
+	if got := c.workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	c.Workers = 3
+	if got := c.workers(); got != 3 {
+		t.Fatalf("workers() = %d, want 3", got)
+	}
+	c.Workers = 1
+	c.Sites = []int{10}
+	one := figureCSV(t, Fig5a, c)
+	c.Workers = 0
+	auto := figureCSV(t, Fig5a, c)
+	if one != auto {
+		t.Fatal("Workers=0 output differs from Workers=1")
+	}
+}
+
+// forEach must visit every index exactly once at any pool width and
+// return the lowest-index error, matching what the serial loop would
+// have reported.
+func TestForEachCoverageAndErrorOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		c := Quick()
+		c.Workers = workers
+		const n = 100
+		var visits [n]int32
+		if err := c.forEach(n, func(i int) error {
+			atomic.AddInt32(&visits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+		err := c.forEach(n, func(i int) error {
+			if i%30 == 17 {
+				return fmt.Errorf("trial %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "trial 17") {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index failure (trial 17)", workers, err)
+		}
+	}
+	// n = 0 is a no-op, and an error type survives the pool.
+	c := Quick()
+	sentinel := errors.New("boom")
+	if err := c.forEach(0, func(int) error { return sentinel }); err != nil {
+		t.Fatalf("forEach(0) = %v", err)
+	}
+	if err := c.forEach(5, func(int) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("forEach error = %v, want sentinel", err)
+	}
+}

@@ -331,18 +331,23 @@ func (s Scheduler) schedulePhase(phaseIdx int, tasks []*plan.Task,
 			load := sys.Site(j).LoadLength()
 			sum := sys.Site(j).LoadSum()
 			free := freeMem[j]
+			// Exact lexicographic (feasible, l, sum, free desc, site)
+			// comparison, mirroring internal/sched's placement key: no
+			// epsilon window, so near-ties cannot chain and equal keys
+			// break on the smaller site index (the ascending scan keeps
+			// the earlier site).
 			better := false
 			switch {
 			case best < 0:
 				better = true
 			case feasible != bestFeasible:
 				better = feasible
-			case load < bestLoad-1e-12:
-				better = true
-			case load < bestLoad+1e-12 && sum < bestSum-1e-12:
-				better = true
-			case load < bestLoad+1e-12 && sum < bestSum+1e-12 && free > bestFree+1e-12:
-				better = true
+			case load != bestLoad:
+				better = load < bestLoad
+			case sum != bestSum:
+				better = sum < bestSum
+			case free != bestFree:
+				better = free > bestFree
 			}
 			if better {
 				best, bestFeasible, bestLoad, bestSum, bestFree = j, feasible, load, sum, free

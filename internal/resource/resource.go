@@ -84,10 +84,12 @@ type Site struct {
 	// ID is the site index in [0, P).
 	ID int
 
-	clones []vector.Vector // work vectors mapped to this site
-	load   vector.Vector   // running componentwise sum of clones
-	maxSeq float64         // max T^seq among clones, under the bound model
-	ov     Overlap
+	clones  []vector.Vector // work vectors mapped to this site
+	load    vector.Vector   // running componentwise sum of clones
+	loadLen float64         // cached load.Length(), kept current by Assign/Reset
+	loadSum float64         // cached load.Sum(), kept current by Assign/Reset
+	maxSeq  float64         // max T^seq among clones, under the bound model
+	ov      Overlap
 }
 
 // NewSite returns an empty d-dimensional site evaluated under the given
@@ -104,6 +106,12 @@ func (s *Site) Dim() int { return s.load.Dim() }
 func (s *Site) Assign(w vector.Vector) {
 	s.clones = append(s.clones, w)
 	s.load.AddInPlace(w)
+	// Refresh the cached aggregates from the accumulated load so they are
+	// bit-identical to a from-scratch recomputation (the schedulers'
+	// tie-breaks compare these floats exactly). O(d) per Assign keeps the
+	// schedulers' inner placement loops O(1) per site probe.
+	s.loadLen = s.load.Length()
+	s.loadSum = s.load.Sum()
 	if t := s.ov.TSeq(w); t > s.maxSeq {
 		s.maxSeq = t
 	}
@@ -121,12 +129,14 @@ func (s *Site) Load() vector.Vector { return s.load.Clone() }
 
 // LoadLength returns l(work(s)), the most congested resource's total
 // demand at this site. This is the list-scheduling key of
-// OperatorSchedule ("least filled bin").
-func (s *Site) LoadLength() float64 { return s.load.Length() }
+// OperatorSchedule ("least filled bin"). The value is cached by Assign,
+// so calling it in a placement scan costs a field read, not an O(d)
+// reduction.
+func (s *Site) LoadLength() float64 { return s.loadLen }
 
 // LoadSum returns the total work assigned to the site across all
-// resources, Σ_k Σ_{W∈work(s)} W[k].
-func (s *Site) LoadSum() float64 { return s.load.Sum() }
+// resources, Σ_k Σ_{W∈work(s)} W[k]. Cached by Assign, like LoadLength.
+func (s *Site) LoadSum() float64 { return s.loadSum }
 
 // MaxTSeq returns max_{W ∈ work(s)} T^seq(W).
 func (s *Site) MaxTSeq() float64 { return s.maxSeq }
@@ -134,8 +144,8 @@ func (s *Site) MaxTSeq() float64 { return s.maxSeq }
 // TSite returns T^site(s) per Equation 2: the time for the site to
 // complete all assigned clones under preemptable time-sharing.
 func (s *Site) TSite() float64 {
-	if ll := s.load.Length(); ll > s.maxSeq {
-		return ll
+	if s.loadLen > s.maxSeq {
+		return s.loadLen
 	}
 	return s.maxSeq
 }
@@ -146,6 +156,8 @@ func (s *Site) Reset() {
 	for i := range s.load {
 		s.load[i] = 0
 	}
+	s.loadLen = 0
+	s.loadSum = 0
 	s.maxSeq = 0
 }
 

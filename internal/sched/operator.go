@@ -25,10 +25,6 @@ import (
 	"mdrs/internal/vector"
 )
 
-// tieEps is the tolerance under which two site loads count as tied for
-// the list-scheduling tie-break.
-const tieEps = 1e-12
-
 // Op is one operator instance presented to OperatorSchedule: its clone
 // work vectors (coordinator first, by the EA1 convention) and, for
 // rooted operators, the fixed home sites of its clones.
@@ -197,30 +193,25 @@ func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool) (*R
 		}
 		used[op.ID] = m
 	}
+	// The least-filled site by l(work(s)), as in Figure 3. Among sites
+	// tied on l (common early on, when several resources are empty),
+	// prefer the smaller total load: any argmin of l satisfies the
+	// Theorem 5.1 proof, and the sum tie-break steers complementary
+	// resource demands together (the paper's Section 5.2.2 example).
+	// Remaining ties break on the site index. The siteIndex keeps the
+	// sites ordered by exactly that (l, sum, id) key, so one placement is
+	// a short prefix walk plus an ordered re-insertion instead of a full
+	// O(P·d) rescan per clone.
+	ix := newSiteIndex(sys)
 	for _, it := range list {
 		bans := used[it.op.ID]
-		// Least-filled site by l(work(s)), as in Figure 3. Among sites
-		// tied on l (common early on, when several resources are empty),
-		// prefer the smaller total load: any argmin of l satisfies the
-		// Theorem 5.1 proof, and the sum tie-break steers complementary
-		// resource demands together (the paper's Section 5.2.2 example).
-		best, bestLoad, bestSum := -1, 0.0, 0.0
-		for j := 0; j < p; j++ {
-			if bans[j] {
-				continue
-			}
-			l := sys.Site(j).LoadLength()
-			sum := sys.Site(j).LoadSum()
-			if best < 0 || l < bestLoad-tieEps ||
-				(l < bestLoad+tieEps && sum < bestSum-tieEps) {
-				best, bestLoad, bestSum = j, l, sum
-			}
-		}
+		best := ix.pick(bans)
 		if best < 0 {
 			// Unreachable given validate(): degree <= P and distinct homes.
 			return nil, fmt.Errorf("sched: no allowable site for op %d clone %d", it.op.ID, it.clone)
 		}
 		sys.Site(best).Assign(it.op.Clones[it.clone])
+		ix.update(sys, best)
 		bans[best] = true
 		res.Sites[it.op.ID][it.clone] = best
 	}
@@ -234,11 +225,24 @@ func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool) (*R
 // operator's isolated parallel execution time. Every schedule of the
 // given parallelization, on any assignment, takes at least this long,
 // and the list-scheduling rule is guaranteed within (2d+1)·LB.
+// Malformed inputs that OperatorSchedule would reject — no operators, a
+// non-positive site count, or operators with no clones — contribute a
+// bound of 0 instead of panicking; callers that validate first never see
+// the difference.
 func LowerBound(p int, ov resource.Overlap, ops []*Op) float64 {
-	if len(ops) == 0 {
+	if p <= 0 {
 		return 0
 	}
-	d := ops[0].Clones[0].Dim()
+	d := 0
+	for _, op := range ops {
+		if len(op.Clones) > 0 {
+			d = op.Clones[0].Dim()
+			break
+		}
+	}
+	if d == 0 {
+		return 0
+	}
 	total := vector.New(d)
 	h := 0.0
 	for _, op := range ops {

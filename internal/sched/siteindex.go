@@ -1,0 +1,108 @@
+// The incremental site-load index behind OperatorSchedule's placement
+// step. The Figure 3 rule places every floating clone on the allowable
+// site minimizing (l(work(s)), Σ work(s), site id) lexicographically;
+// the naive form rescans all P sites per clone, O(n·P) probes with an
+// O(d) load reduction each. The index keeps the sites in a slice sorted
+// by exactly that key, so one placement is a prefix walk that skips the
+// operator's banned sites (usually O(ban set) work) followed by an
+// ordered re-insertion of the single site whose key grew. The walk
+// degrades to the full scan only when the operator's ban set covers the
+// entire index prefix — the same worst case the scan always paid.
+package sched
+
+import (
+	"sort"
+
+	"mdrs/internal/resource"
+)
+
+// siteKey is the placement ordering key of one site. Keys only grow
+// while a schedule is being built (Assign adds non-negative work).
+type siteKey struct {
+	l   float64 // l(work(s)): max-component of the accumulated load
+	sum float64 // Σ work(s): total accumulated load over all resources
+	id  int     // site index, the final deterministic tie-break
+}
+
+// keyLess is the single lexicographic (l, sum, id) comparison used by
+// every placement decision. Comparing exactly (no epsilon band) keeps
+// the rule a strict weak ordering: the chosen site is always the true
+// argmin, and equal keys cannot chain into a drifting "tie" the way the
+// old ±tieEps window could.
+func keyLess(a, b siteKey) bool {
+	if a.l != b.l {
+		return a.l < b.l
+	}
+	if a.sum != b.sum {
+		return a.sum < b.sum
+	}
+	return a.id < b.id
+}
+
+// siteIndex maintains all P sites in ascending (l, sum, id) order.
+type siteIndex struct {
+	order []siteKey // sites sorted ascending by keyLess
+	pos   []int     // pos[id] = current index of site id in order
+}
+
+// newSiteIndex snapshots the system's current loads (rooted operators
+// are already placed when the floating pass starts).
+func newSiteIndex(sys *resource.System) *siteIndex {
+	p := sys.P()
+	ix := &siteIndex{order: make([]siteKey, p), pos: make([]int, p)}
+	for j := 0; j < p; j++ {
+		s := sys.Site(j)
+		ix.order[j] = siteKey{l: s.LoadLength(), sum: s.LoadSum(), id: j}
+	}
+	sort.Slice(ix.order, func(i, j int) bool { return keyLess(ix.order[i], ix.order[j]) })
+	for i, k := range ix.order {
+		ix.pos[k.id] = i
+	}
+	return ix
+}
+
+// pick returns the least-key site whose id is not banned, or -1 if the
+// ban set covers every site.
+func (ix *siteIndex) pick(bans map[int]bool) int {
+	for _, k := range ix.order {
+		if !bans[k.id] {
+			return k.id
+		}
+	}
+	return -1
+}
+
+// update re-keys site id after new work was assigned to it. The key can
+// only have grown, so the site bubbles toward the back of the order; the
+// shift distance is the number of sites it overtakes.
+func (ix *siteIndex) update(sys *resource.System, id int) {
+	s := sys.Site(id)
+	k := siteKey{l: s.LoadLength(), sum: s.LoadSum(), id: id}
+	i := ix.pos[id]
+	for i+1 < len(ix.order) && keyLess(ix.order[i+1], k) {
+		ix.order[i] = ix.order[i+1]
+		ix.pos[ix.order[i].id] = i
+		i++
+	}
+	ix.order[i] = k
+	ix.pos[id] = i
+}
+
+// pickScan is the reference linear scan over all sites with the same
+// (l, sum, id) ordering. operatorSchedule uses the index; this is kept
+// as the oracle the equivalence tests check the index against.
+func pickScan(sys *resource.System, bans map[int]bool) int {
+	best := -1
+	var bestKey siteKey
+	for j := 0; j < sys.P(); j++ {
+		if bans[j] {
+			continue
+		}
+		s := sys.Site(j)
+		k := siteKey{l: s.LoadLength(), sum: s.LoadSum(), id: j}
+		if best < 0 || keyLess(k, bestKey) {
+			best, bestKey = j, k
+		}
+	}
+	return best
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdrs/internal/resource"
+	"mdrs/internal/vector"
+)
+
+// The index must agree with the reference linear scan after every
+// mutation, for arbitrary load states and ban sets: pick == pickScan is
+// the exact "least-filled allowable site" contract of Figure 3.
+func TestSiteIndexMatchesScan(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		p := 1 + r.Intn(40)
+		sys := resource.NewSystem(p, 3, resource.MustOverlap(0.5))
+		// Random pre-load (rooted placements happen before the index is
+		// built).
+		for j := 0; j < p; j++ {
+			for n := r.Intn(3); n > 0; n-- {
+				sys.Site(j).Assign(vector.Of(r.Float64(), r.Float64(), r.Float64()))
+			}
+		}
+		ix := newSiteIndex(sys)
+		for step := 0; step < 60; step++ {
+			bans := map[int]bool{}
+			for n := r.Intn(p); n > 0; n-- {
+				bans[r.Intn(p)] = true
+			}
+			got, want := ix.pick(bans), pickScan(sys, bans)
+			if got != want {
+				t.Fatalf("trial %d step %d: pick = %d, scan = %d (bans %v)",
+					trial, step, got, want, bans)
+			}
+			if got < 0 {
+				continue // every site banned
+			}
+			sys.Site(got).Assign(vector.Of(r.Float64()*5, r.Float64()*5, r.Float64()*5))
+			ix.update(sys, got)
+			// The pos table must stay the inverse of the order slice.
+			for i, k := range ix.order {
+				if ix.pos[k.id] != i {
+					t.Fatalf("trial %d step %d: pos[%d] = %d, want %d",
+						trial, step, k.id, ix.pos[k.id], i)
+				}
+			}
+		}
+	}
+}
+
+// With every site banned, both the index and the scan report failure.
+func TestSiteIndexAllBanned(t *testing.T) {
+	sys := resource.NewSystem(3, 2, resource.MustOverlap(1))
+	ix := newSiteIndex(sys)
+	bans := map[int]bool{0: true, 1: true, 2: true}
+	if got := ix.pick(bans); got != -1 {
+		t.Fatalf("pick over full ban set = %d, want -1", got)
+	}
+	if got := pickScan(sys, bans); got != -1 {
+		t.Fatalf("scan over full ban set = %d, want -1", got)
+	}
+}
+
+// Exactly-tied loads must break deterministically on (l, sum, site):
+// identical single-clone operators fill sites in index order, and once
+// every site carries the same load the cycle restarts at site 0. This is
+// the regression test for the old ±tieEps comparison, whose asymmetric
+// window could let a near-tie chain pick a site up to tieEps above the
+// true minimum and had no explicit site-index tie-break.
+func TestPlacementExactTieBreaksOnSiteIndex(t *testing.T) {
+	var ops []*Op
+	for i := 0; i < 7; i++ {
+		ops = append(ops, &Op{ID: i, Clones: []vector.Vector{vector.Of(1, 1)}})
+	}
+	res, err := OperatorSchedule(3, 2, resource.MustOverlap(0.5), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// l(w̄) is equal for all clones, so list order is operator ID order.
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := res.Sites[i][0]; got != w {
+			t.Fatalf("op %d placed at site %d, want %d (exact-tie rotation)", i, got, w)
+		}
+	}
+	// Ties on l alone defer to the smaller total load: a site already
+	// holding complementary work (same l, larger sum) loses to a lighter
+	// site with an equal maximum component.
+	tieOps := []*Op{
+		{ID: 0, Clones: []vector.Vector{vector.Of(2, 0)}, Home: []int{0}},
+		{ID: 1, Clones: []vector.Vector{vector.Of(2, 2)}, Home: []int{1}},
+		{ID: 2, Clones: []vector.Vector{vector.Of(1, 1)}},
+	}
+	res, err = OperatorSchedule(2, 2, resource.MustOverlap(0.5), tieOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Sites[2][0]; got != 0 {
+		t.Fatalf("op 2 placed at site %d, want 0 (l tie 2=2, sum 2 < 4)", got)
+	}
+}
+
+// LowerBound must tolerate input that OperatorSchedule's validation
+// rejects rather than dereferencing Clones[0] blindly.
+func TestLowerBoundMalformedInput(t *testing.T) {
+	ov := resource.MustOverlap(0.5)
+	if got := LowerBound(4, ov, []*Op{{ID: 0}}); got != 0 {
+		t.Fatalf("LB(op with no clones) = %g, want 0", got)
+	}
+	if got := LowerBound(4, ov, []*Op{{ID: 0}, {ID: 1}}); got != 0 {
+		t.Fatalf("LB(only empty ops) = %g, want 0", got)
+	}
+	if got := LowerBound(0, ov, []*Op{singleClone(0, 1, 1)}); got != 0 {
+		t.Fatalf("LB(P = 0) = %g, want 0", got)
+	}
+	// A zero-clone operator among real ones is skipped, not fatal, and
+	// does not perturb the bound.
+	ops := []*Op{singleClone(0, 4, 0), {ID: 1}, singleClone(2, 0, 4)}
+	clean := []*Op{singleClone(0, 4, 0), singleClone(2, 0, 4)}
+	if got, want := LowerBound(2, ov, ops), LowerBound(2, ov, clean); got != want {
+		t.Fatalf("LB with empty op mixed in = %g, want %g", got, want)
+	}
+}
