@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-placement figures
+.PHONY: check build vet test race obs-race bench bench-placement figures trace-demo
 
-check: build vet race
+check: build vet race obs-race
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The observability layer and the engine's error paths, re-run with a
+# fresh (-count=1) race pass: these tests attach shared recorders to the
+# parallel clone runner and the experiments worker pool.
+obs-race:
+	$(GO) test -race -count=1 ./internal/obs ./internal/engine ./internal/experiments
+
 # Placement micro-benchmark tracked in BENCH_sched.json.
 bench-placement:
 	$(GO) test ./internal/sched -run '^$$' -bench BenchmarkOperatorSchedulePlacement -benchmem
@@ -31,3 +37,7 @@ bench:
 # Regenerate every Section 6 figure with per-figure timings.
 figures:
 	$(GO) run ./cmd/mdrs-bench -csv -benchjson BENCH_figures.json
+
+# Schedule one seeded 6-join plan and pretty-print its decision trace.
+trace-demo:
+	$(GO) run ./cmd/mdrs-plangen -joins 6 -seed 1 | $(GO) run ./cmd/mdrs-sched -sites 16 -trace-text

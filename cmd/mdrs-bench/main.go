@@ -14,7 +14,11 @@
 // every worker count. -benchjson additionally records per-figure
 // regeneration wall times to FILE as JSON (the BENCH_sched.json format
 // tracked at the repository root), so successive PRs can compare the
-// harness's performance trajectory mechanically.
+// harness's performance trajectory mechanically. -metrics attaches an
+// observability recorder to the run and writes its counters and timing
+// histograms to FILE as JSON; -debug-addr serves net/http/pprof and
+// expvar (including the live metrics under the "mdrs" var) while the
+// figures regenerate.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	"mdrs/internal/experiments"
+	"mdrs/internal/obs"
 )
 
 // figures maps figure names to their generators, in canonical order.
@@ -76,6 +81,8 @@ func main() {
 	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
 	benchJSON := flag.String("benchjson", "", "write per-figure timings as JSON to this file")
+	metricsJSON := flag.String("metrics", "", "write run counters and timing histograms as JSON to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
 	cfg := experiments.Default()
@@ -89,6 +96,21 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+
+	var met *obs.Metrics
+	if *metricsJSON != "" || *debugAddr != "" {
+		met = obs.NewMetrics()
+		cfg.Rec = met
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		obs.PublishExpvar("mdrs", met)
+		fmt.Fprintf(os.Stderr, "mdrs-bench: debug server on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *table2 {
 		fmt.Print(experiments.Table2(cfg))
@@ -107,6 +129,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *metricsJSON != "" {
+		if err := writeMetrics(*metricsJSON, met); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics renders the run's observability snapshot to path.
+func writeMetrics(path string, m *obs.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emit regenerates one figure (or all of them) into w, as aligned text

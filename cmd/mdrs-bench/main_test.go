@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mdrs/internal/experiments"
+	"mdrs/internal/obs"
 )
 
 func testConfig() experiments.Config {
@@ -108,5 +109,40 @@ func TestWriteReport(t *testing.T) {
 	}
 	if len(got.Figures) != 1 || got.Figures[0].Figure != "order" {
 		t.Fatalf("report figures = %+v", got.Figures)
+	}
+}
+
+// The -metrics snapshot must be machine-readable JSON whose counters
+// reflect the regenerated figures.
+func TestWriteMetrics(t *testing.T) {
+	met := obs.NewMetrics()
+	cfg := testConfig()
+	cfg.Rec = met
+	var sb strings.Builder
+	if _, err := emit(&sb, cfg, "5a", false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := writeMetrics(path, met); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if snap.Counters["experiments.fig.5a"] != 1 || snap.Counters["experiments.schedules"] == 0 {
+		t.Fatalf("counters missing: %v", snap.Counters)
+	}
+	if snap.Histograms["experiments.figure_seconds"].Count != 1 {
+		t.Fatalf("figure timer missing: %v", snap.Histograms)
 	}
 }

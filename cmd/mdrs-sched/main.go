@@ -8,7 +8,11 @@
 //
 //	mdrs-plangen -joins 8 | mdrs-sched -sites 32 -eps 0.5 -f 0.7
 //	mdrs-sched -plan plan.json -sites 32 [-v] [-json] [-chart]
-//	mdrs-sched -sites 32 q1.json q2.json q3.json   # multi-query batch
+//	mdrs-sched -plan plan.json -trace trace.jsonl     # decision trace as JSONL
+//	mdrs-sched -plan plan.json -trace-text            # decision trace, pretty
+//	mdrs-sched -sites 32 q1.json q2.json q3.json      # multi-query batch
+//
+// -debug-addr serves net/http/pprof and expvar for profiling long runs.
 package main
 
 import (
@@ -20,26 +24,51 @@ import (
 	"mdrs"
 )
 
+// options carries the full mdrs-sched flag surface.
+type options struct {
+	planPath  string
+	sites     int
+	eps, f    float64
+	verbose   bool
+	asJSON    bool
+	chart     bool
+	tracePath string // decision trace JSONL destination ("" = off)
+	traceText bool   // pretty-print the decision trace after the summary
+}
+
 func main() {
-	planPath := flag.String("plan", "-", "plan JSON file, or - for stdin")
-	sites := flag.Int("sites", 32, "number of system sites P")
-	eps := flag.Float64("eps", 0.5, "resource overlap parameter ε in [0,1]")
-	f := flag.Float64("f", 0.7, "coarse-granularity parameter f")
-	verbose := flag.Bool("v", false, "print every operator placement")
-	asJSON := flag.Bool("json", false, "emit the TreeSchedule as JSON and exit")
-	chart := flag.Bool("chart", false, "render per-site load bars and utilization")
+	var o options
+	flag.StringVar(&o.planPath, "plan", "-", "plan JSON file, or - for stdin")
+	flag.IntVar(&o.sites, "sites", 32, "number of system sites P")
+	flag.Float64Var(&o.eps, "eps", 0.5, "resource overlap parameter ε in [0,1]")
+	flag.Float64Var(&o.f, "f", 0.7, "coarse-granularity parameter f")
+	flag.BoolVar(&o.verbose, "v", false, "print every operator placement")
+	flag.BoolVar(&o.asJSON, "json", false, "emit the TreeSchedule as JSON and exit")
+	flag.BoolVar(&o.chart, "chart", false, "render per-site load bars and utilization")
+	flag.StringVar(&o.tracePath, "trace", "", "write the scheduler's decision trace to this file as JSON lines")
+	flag.BoolVar(&o.traceText, "trace-text", false, "pretty-print the scheduler's decision trace")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := mdrs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-sched: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mdrs-sched: debug server on http://%s/debug/pprof/\n", addr)
+	}
 
 	if flag.NArg() > 0 {
 		// Batch mode: every positional argument is a plan file; all
 		// queries are scheduled together with inter-query sharing.
-		if err := runBatch(os.Stdout, flag.Args(), *sites, *eps, *f); err != nil {
+		if err := runBatch(os.Stdout, flag.Args(), o.sites, o.eps, o.f); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrs-sched: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(os.Stdout, *planPath, *sites, *eps, *f, *verbose, *asJSON, *chart); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintf(os.Stderr, "mdrs-sched: %v\n", err)
 		os.Exit(1)
 	}
@@ -86,13 +115,13 @@ func runBatch(w io.Writer, paths []string, sites int, eps, f float64) error {
 	return nil
 }
 
-func run(w io.Writer, planPath string, sites int, eps, f float64, verbose, asJSON, chart bool) error {
+func run(w io.Writer, o options) error {
 	var data []byte
 	var err error
-	if planPath == "-" {
+	if o.planPath == "-" {
 		data, err = io.ReadAll(os.Stdin)
 	} else {
-		data, err = os.ReadFile(planPath)
+		data, err = os.ReadFile(o.planPath)
 	}
 	if err != nil {
 		return err
@@ -102,12 +131,36 @@ func run(w io.Writer, planPath string, sites int, eps, f float64, verbose, asJSO
 		return err
 	}
 
-	o := mdrs.Options{Sites: sites, Epsilon: eps, F: f}
-	tree, err := mdrs.ScheduleQuery(p, o)
+	// Assemble the recorder stack the flags ask for: a JSONL tracer, an
+	// in-memory capture for -trace-text, or nothing (the free default).
+	var recs []mdrs.Recorder
+	var tracer *mdrs.Tracer
+	if o.tracePath != "" {
+		tf, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer = mdrs.NewTracer(tf)
+		recs = append(recs, tracer)
+	}
+	var capture *mdrs.TraceCapture
+	if o.traceText {
+		capture = mdrs.NewTraceCapture()
+		recs = append(recs, capture)
+	}
+
+	opts := mdrs.Options{Sites: o.sites, Epsilon: o.eps, F: o.f, Rec: mdrs.MultiRecorder(recs...)}
+	tree, err := mdrs.ScheduleQuery(p, opts)
 	if err != nil {
 		return err
 	}
-	if asJSON {
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return fmt.Errorf("writing %s: %w", o.tracePath, err)
+		}
+	}
+	if o.asJSON {
 		data, err := mdrs.EncodeScheduleJSON(tree)
 		if err != nil {
 			return err
@@ -115,18 +168,18 @@ func run(w io.Writer, planPath string, sites int, eps, f float64, verbose, asJSO
 		fmt.Fprintln(w, string(data))
 		return nil
 	}
-	sync, err := mdrs.ScheduleQuerySynchronous(p, o)
+	sync, err := mdrs.ScheduleQuerySynchronous(p, opts)
 	if err != nil {
 		return err
 	}
-	bound, err := mdrs.OptBound(p, o)
+	bound, err := mdrs.OptBound(p, opts)
 	if err != nil {
 		return err
 	}
 
 	fmt.Fprintf(w, "plan: %d joins, result %d tuples\n", p.Joins(), p.Tuples)
 	fmt.Fprintf(w, "system: P=%d 3-dimensional sites (CPU, disk, net), ε=%.2f, f=%.2f\n",
-		sites, eps, f)
+		o.sites, o.eps, o.f)
 	fmt.Fprintf(w, "\nTreeSchedule response: %10.3f s  (%d phases)\n",
 		tree.Response, len(tree.Phases))
 	fmt.Fprintf(w, "Synchronous  response: %10.3f s  (%.2fx slower)\n",
@@ -134,14 +187,14 @@ func run(w io.Writer, planPath string, sites int, eps, f float64, verbose, asJSO
 	fmt.Fprintf(w, "OPTBOUND lower bound:  %10.3f s  (TreeSchedule within %.2fx)\n",
 		bound, tree.Response/bound)
 
-	if chart {
+	if o.chart {
 		fmt.Fprintln(w)
 		if err := mdrs.WriteScheduleText(w, tree); err != nil {
 			return err
 		}
 	}
 
-	if verbose {
+	if o.verbose {
 		for _, ph := range tree.Phases {
 			fmt.Fprintf(w, "\nphase %d (%d tasks): response %.3f s\n",
 				ph.Index, len(ph.Tasks), ph.Response)
@@ -153,6 +206,13 @@ func run(w io.Writer, planPath string, sites int, eps, f float64, verbose, asJSO
 				fmt.Fprintf(w, "  %-14s %s N=%-3d T^par=%8.3f s  sites=%v\n",
 					pl.Op.Name, tag, pl.Degree, pl.TPar, pl.Sites)
 			}
+		}
+	}
+
+	if capture != nil {
+		fmt.Fprintf(w, "\ndecision trace (%d events):\n", len(capture.Events()))
+		if err := mdrs.WriteTraceText(w, capture.Events()); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -28,7 +28,7 @@ func writePlan(t *testing.T, joins int) string {
 func TestRunSummaryOutput(t *testing.T) {
 	path := writePlan(t, 5)
 	var sb strings.Builder
-	if err := run(&sb, path, 8, 0.5, 0.7, false, false, false); err != nil {
+	if err := run(&sb, options{planPath: path, sites: 8, eps: 0.5, f: 0.7}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -43,7 +43,7 @@ func TestRunSummaryOutput(t *testing.T) {
 func TestRunVerboseListsPlacements(t *testing.T) {
 	path := writePlan(t, 4)
 	var sb strings.Builder
-	if err := run(&sb, path, 6, 0.5, 0.7, true, false, false); err != nil {
+	if err := run(&sb, options{planPath: path, sites: 6, eps: 0.5, f: 0.7, verbose: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -58,7 +58,7 @@ func TestRunVerboseListsPlacements(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	path := writePlan(t, 3)
 	var sb strings.Builder
-	if err := run(&sb, path, 4, 0.5, 0.7, false, true, false); err != nil {
+	if err := run(&sb, options{planPath: path, sites: 4, eps: 0.5, f: 0.7, asJSON: true}); err != nil {
 		t.Fatal(err)
 	}
 	var decoded struct {
@@ -76,7 +76,7 @@ func TestRunJSONOutput(t *testing.T) {
 func TestRunChartOutput(t *testing.T) {
 	path := writePlan(t, 3)
 	var sb strings.Builder
-	if err := run(&sb, path, 4, 0.5, 0.7, false, false, true); err != nil {
+	if err := run(&sb, options{planPath: path, sites: 4, eps: 0.5, f: 0.7, chart: true}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "utilization:") || !strings.Contains(sb.String(), "site") {
@@ -112,22 +112,94 @@ func TestRunBatchErrors(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, filepath.Join(t.TempDir(), "missing.json"),
-		8, 0.5, 0.7, false, false, false); err == nil {
+	if err := run(&sb, options{planPath: filepath.Join(t.TempDir(), "missing.json"),
+		sites: 8, eps: 0.5, f: 0.7}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&sb, bad, 8, 0.5, 0.7, false, false, false); err == nil {
+	if err := run(&sb, options{planPath: bad, sites: 8, eps: 0.5, f: 0.7}); err == nil {
 		t.Error("malformed plan accepted")
 	}
 	good := writePlan(t, 3)
-	if err := run(&sb, good, 0, 0.5, 0.7, false, false, false); err == nil {
+	if err := run(&sb, options{planPath: good, sites: 0, eps: 0.5, f: 0.7}); err == nil {
 		t.Error("P = 0 accepted")
 	}
-	if err := run(&sb, good, 4, 2.0, 0.7, false, false, false); err == nil {
+	if err := run(&sb, options{planPath: good, sites: 4, eps: 2.0, f: 0.7}); err == nil {
 		t.Error("ε = 2 accepted")
+	}
+}
+
+func TestRunTraceWritesReplayableJSONL(t *testing.T) {
+	path := writePlan(t, 5)
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var sb strings.Builder
+	o := options{planPath: path, sites: 8, eps: 0.5, f: 0.7,
+		asJSON: true, tracePath: tracePath}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	events, err := mdrs.ReadTrace(tf)
+	if err != nil {
+		t.Fatalf("trace is not valid JSONL: %v", err)
+	}
+	assigned := mdrs.TraceAssignments(events)
+	if len(assigned) == 0 {
+		t.Fatal("trace has no place events")
+	}
+
+	// The -json output and the trace describe the same schedule: the
+	// trace's placement count must equal the schedule's clone count.
+	var decoded struct {
+		Phases []struct {
+			Placements []struct {
+				Sites []int `json:"sites"`
+			} `json:"placements"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	clones := 0
+	for _, ph := range decoded.Phases {
+		for _, pl := range ph.Placements {
+			clones += len(pl.Sites)
+		}
+	}
+	if clones == 0 || len(assigned) != clones {
+		t.Fatalf("trace has %d placements, schedule has %d clones", len(assigned), clones)
+	}
+}
+
+func TestRunTraceTextRendersDecisions(t *testing.T) {
+	path := writePlan(t, 4)
+	var sb strings.Builder
+	if err := run(&sb, options{planPath: path, sites: 6, eps: 0.5, f: 0.7,
+		traceText: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"decision trace (", "phase", "place"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceBadPath(t *testing.T) {
+	path := writePlan(t, 3)
+	var sb strings.Builder
+	o := options{planPath: path, sites: 4, eps: 0.5, f: 0.7,
+		tracePath: filepath.Join(t.TempDir(), "no-such-dir", "t.jsonl")}
+	if err := run(&sb, o); err == nil {
+		t.Fatal("unwritable trace path accepted")
 	}
 }

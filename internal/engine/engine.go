@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
 	"mdrs/internal/plan"
 	"mdrs/internal/query"
 	"mdrs/internal/resource"
@@ -21,6 +22,42 @@ type Engine struct {
 	// (results are merged in clone order, so output is deterministic
 	// either way).
 	Parallel bool
+	// Rec, when non-nil, receives execution counters (tuples, clone
+	// runs), per-phase timers, and exec_phase trace events. Recorders
+	// must be safe for concurrent use when Parallel is set; all the
+	// internal/obs implementations are. Nil disables recording.
+	Rec obs.Recorder
+
+	// failClone, when non-nil, is consulted before every clone body runs
+	// and aborts the clone with the returned error. It exists so tests
+	// can inject clone failures into otherwise-infallible arms (the
+	// regression tests for the once-dropped Scan error path).
+	failClone func(op *plan.Operator, clone int) error
+}
+
+// OpReport breaks one executed operator out of a Report: what the
+// scheduler predicted for it against what the meters actually measured.
+type OpReport struct {
+	// Name is the operator's label, e.g. "probe(J3)".
+	Name string
+	// Kind is the physical operator type.
+	Kind costmodel.OpKind
+	// Phase is the synchronized phase the operator executed in.
+	Phase int
+	// Degree is the degree of partitioned parallelism.
+	Degree int
+	// Rooted marks operators whose placement was fixed before list
+	// scheduling.
+	Rooted bool
+	// Predicted is the scheduler's isolated parallel execution time
+	// T^par(op, N) for the operator (Equation 1).
+	Predicted float64
+	// Measured is the slowest clone's T^seq over the actually metered
+	// work vectors — the operator's isolated execution time as run.
+	Measured float64
+	// OutTuples is the operator's observed output cardinality (0 for
+	// builds, whose hash table does not stream on).
+	OutTuples int
 }
 
 // Report summarizes one execution.
@@ -32,6 +69,13 @@ type Report struct {
 	// PhaseMeasured holds, per phase, the response time computed from
 	// the clones' actually metered work vectors via Equation 3.
 	PhaseMeasured []float64
+	// PhasePredicted holds the scheduler's analytic response per phase,
+	// aligned with PhaseMeasured, so divergence can be localized to a
+	// phase instead of eyeballing end-to-end totals.
+	PhasePredicted []float64
+	// Operators breaks the run down per operator, in execution order —
+	// the metered-vs-predicted comparison at operator granularity.
+	Operators []OpReport
 	// Measured is the end-to-end measured response (sum of phases).
 	Measured float64
 	// Predicted is the scheduler's analytic response for comparison.
@@ -89,7 +133,8 @@ func (e Engine) Run(ds *Dataset, s *sched.Schedule) (*Report, error) {
 	// tables[joinID][clone] is a partial hash table: join key -> rows.
 	tables := make(map[int][]map[int32][]Tuple)
 
-	for _, ph := range s.Phases {
+	for phaseIdx, ph := range s.Phases {
+		stop := obs.StartTimer(e.Rec, "engine.phase_seconds")
 		sys := resource.NewSystem(s.P, resource.Dims, e.Overlap)
 		// Producers have smaller IDs than consumers (post-order
 		// expansion), so ID order is a valid pipeline topological order.
@@ -107,13 +152,33 @@ func (e Engine) Run(ds *Dataset, s *sched.Schedule) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("engine: %s: %w", pl.Op.Name, err)
 			}
+			measured := 0.0
 			for k, m := range meters {
 				sys.Site(pl.Sites[k]).Assign(m.work)
+				if t := e.Overlap.TSeq(m.work); t > measured {
+					measured = t
+				}
 			}
+			rep.Operators = append(rep.Operators, OpReport{
+				Name:      pl.Op.Name,
+				Kind:      pl.Op.Kind,
+				Phase:     phaseIdx,
+				Degree:    pl.Degree,
+				Rooted:    pl.Rooted,
+				Predicted: pl.TPar,
+				Measured:  measured,
+				OutTuples: len(outputs[pl.Op]),
+			})
 		}
 		t := sys.MaxTSite()
 		rep.PhaseMeasured = append(rep.PhaseMeasured, t)
+		rep.PhasePredicted = append(rep.PhasePredicted, ph.Response)
 		rep.Measured += t
+		stop()
+		if e.Rec != nil {
+			e.Rec.Observe("engine.phase_measured", t)
+			e.Rec.Event(obs.Event{Type: obs.EvExecPhase, Phase: phaseIdx, Response: t})
+		}
 	}
 
 	rep.ResultTuples = len(outputs[root])
@@ -135,6 +200,19 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 	rep *Report) ([]*cloneMeter, error) {
 
 	n := pl.Degree
+	op := pl.Op
+	// A schedule can only reach the engine malformed (a hand-built or
+	// corrupted one), but both failure shapes used to be silent: a
+	// degree below one made partitionOf divide by zero later while
+	// splitContiguous quietly produced no parts, and a Sites/Degree
+	// mismatch panicked on the meter-to-site zip in Run. Reject both up
+	// front with errors that name the operator's actual shape.
+	if n < 1 {
+		return nil, fmt.Errorf("placement degree %d < 1", n)
+	}
+	if len(pl.Sites) != n {
+		return nil, fmt.Errorf("placement has %d sites for %d clones", len(pl.Sites), n)
+	}
 	meters := make([]*cloneMeter, n)
 	for k := range meters {
 		meters[k] = newMeter()
@@ -147,7 +225,6 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 	meters[0].work[resource.CPU] += startup
 	meters[0].work[resource.Net] += startup
 
-	op := pl.Op
 	switch op.Kind {
 	case costmodel.Scan:
 		leafIdx, err := ds.LeafIndex(op.Source)
@@ -157,7 +234,7 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 		all := ds.LeafTuples(leafIdx)
 		parts := splitContiguous(all, n)
 		out := make([][]Tuple, n)
-		e.eachClone(n, func(k int) error {
+		err = e.eachClone(op, n, func(k int) error {
 			rows := parts[k]
 			pages := p.Pages(len(rows))
 			meters[k].addDiskPages(pages, p)
@@ -168,16 +245,23 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 			out[k] = rows
 			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		outputs[op] = concat(out)
+		obs.Count(e.Rec, "engine.tuples_scanned", int64(len(all)))
 
 	case costmodel.Build:
-		in := outputs[producerOf(op)]
+		in, err := e.producerOutput(op, outputs)
+		if err != nil {
+			return nil, err
+		}
 		parts, err := e.partitionByKey(ds, in, op.Source, n)
 		if err != nil {
 			return nil, err
 		}
 		partials := make([]map[int32][]Tuple, n)
-		err = e.eachClone(n, func(k int) error {
+		err = e.eachClone(op, n, func(k int) error {
 			table := make(map[int32][]Tuple, len(parts[k]))
 			for _, t := range parts[k] {
 				key, err := ds.Key(t, op.Source)
@@ -198,6 +282,7 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 		}
 		tables[op.JoinID] = partials
 		outputs[op] = nil // the table is the output; nothing streams on
+		obs.Count(e.Rec, "engine.tuples_built", int64(len(in)))
 
 	case costmodel.Probe:
 		partials, ok := tables[op.JoinID]
@@ -207,7 +292,10 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 		if len(partials) != n {
 			return nil, fmt.Errorf("probe degree %d != build degree %d", n, len(partials))
 		}
-		in := outputs[producerOf(op)]
+		in, err := e.producerOutput(op, outputs)
+		if err != nil {
+			return nil, err
+		}
 		parts, err := e.partitionByKey(ds, in, op.Source, n)
 		if err != nil {
 			return nil, err
@@ -215,7 +303,7 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 		outerCarrier := OuterIsCarrier(op.Source)
 		out := make([][]Tuple, n)
 		counts := make([]int, n)
-		err = e.eachClone(n, func(k int) error {
+		err = e.eachClone(op, n, func(k int) error {
 			var res []Tuple
 			for _, t := range parts[k] {
 				key, err := ds.Key(t, op.Source)
@@ -254,11 +342,16 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 				op.JoinID, len(result), op.Spec.ResultTuples)
 		}
 		outputs[op] = result
+		obs.Count(e.Rec, "engine.tuples_probed", int64(len(in)))
+		obs.Count(e.Rec, "engine.tuples_joined", int64(len(result)))
 
 	case costmodel.Store:
-		in := outputs[producerOf(op)]
+		in, err := e.producerOutput(op, outputs)
+		if err != nil {
+			return nil, err
+		}
 		parts := splitContiguous(in, n)
-		err := e.eachClone(n, func(k int) error {
+		err = e.eachClone(op, n, func(k int) error {
 			pages := p.Pages(len(parts[k]))
 			meters[k].addDiskPages(pages, p)
 			meters[k].addCPU(float64(pages)*p.WritePageInstr, p)
@@ -271,6 +364,7 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 			return nil, err
 		}
 		outputs[op] = in // materialization preserves the stream
+		obs.Count(e.Rec, "engine.tuples_stored", int64(len(in)))
 
 	default:
 		return nil, fmt.Errorf("unsupported operator kind %v", op.Kind)
@@ -278,7 +372,23 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 	return meters, nil
 }
 
-// producerOf returns the operator whose pipelined output feeds op.
+// producerOutput resolves op's pipeline producer and returns that
+// producer's output stream. A missing producer is an error: reading
+// outputs[nil] instead would silently execute the operator over an
+// empty input and misreport every downstream cardinality.
+func (e Engine) producerOutput(op *plan.Operator,
+	outputs map[*plan.Operator][]Tuple) ([]Tuple, error) {
+	prod := producerOf(op)
+	if prod == nil {
+		return nil, fmt.Errorf("no pipeline producer feeds %s (task of %d operators)",
+			op.Name, len(op.Task.Ops))
+	}
+	return outputs[prod], nil
+}
+
+// producerOf returns the operator whose pipelined output feeds op, or
+// nil when the task graph holds none (a malformed plan; callers must
+// treat nil as an error, not as an empty input).
 func producerOf(op *plan.Operator) *plan.Operator {
 	// The expansion links producer -> consumer; find the pipeline
 	// producer by scanning the task's operators.
@@ -342,12 +452,31 @@ func concat(parts [][]Tuple) []Tuple {
 	return out
 }
 
-// eachClone runs fn for every clone index, in parallel when configured.
-// The first error wins.
-func (e Engine) eachClone(n int, fn func(k int) error) error {
+// eachClone runs fn for every clone index of op, in parallel when
+// configured. The lowest-index error wins, so the reported failure is
+// deterministic across serial and parallel runs. Every arm of
+// runOperator must check the returned error — the Scan arm once did
+// not, and a failing clone there masqueraded as a clean run.
+func (e Engine) eachClone(op *plan.Operator, n int, fn func(k int) error) error {
+	run := fn
+	if e.failClone != nil {
+		run = func(k int) error {
+			if err := e.failClone(op, k); err != nil {
+				return err
+			}
+			return fn(k)
+		}
+	}
+	if rec := e.Rec; rec != nil {
+		inner := run
+		run = func(k int) error {
+			rec.Count("engine.clone_runs", 1)
+			return inner(k)
+		}
+	}
 	if !e.Parallel || n == 1 {
 		for k := 0; k < n; k++ {
-			if err := fn(k); err != nil {
+			if err := run(k); err != nil {
 				return err
 			}
 		}
@@ -359,7 +488,7 @@ func (e Engine) eachClone(n int, fn func(k int) error) error {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			errs[k] = fn(k)
+			errs[k] = run(k)
 		}(k)
 	}
 	wg.Wait()

@@ -23,6 +23,7 @@ import (
 	"mdrs/internal/costmodel"
 	"mdrs/internal/malleable"
 	"mdrs/internal/memsched"
+	"mdrs/internal/obs"
 	"mdrs/internal/opt"
 	"mdrs/internal/optimizer"
 	"mdrs/internal/pipesim"
@@ -49,6 +50,11 @@ type Config struct {
 	// independent (randomized trials derive a private per-query seed) and
 	// per-point aggregation always reduces in query order.
 	Workers int
+	// Rec, when non-nil, receives counters and timing histograms for the
+	// regeneration run (figures regenerated, schedules computed, per-point
+	// and per-figure wall clock). It is strictly observational: figures
+	// and their CSV renderings are byte-identical with or without it.
+	Rec obs.Recorder
 }
 
 // Default reproduces the paper's experimental scale: 20 queries per
@@ -155,6 +161,25 @@ func (c Config) forEach(n int, fn func(i int) error) error {
 	return nil
 }
 
+// observe brackets one figure regeneration: it counts the run and
+// returns a stop func recording the figure's wall-clock seconds. With
+// no recorder it returns a no-op, keeping figure code branch-free.
+func (c Config) observe(id string) func() {
+	if c.Rec == nil {
+		return func() {}
+	}
+	c.Rec.Count("experiments.figures", 1)
+	c.Rec.Count("experiments.fig."+id, 1)
+	return obs.StartTimer(c.Rec, "experiments.figure_seconds")
+}
+
+// counted reports n completed schedules to the recorder.
+func (c Config) counted(n int) {
+	if c.Rec != nil {
+		c.Rec.Count("experiments.schedules", int64(n))
+	}
+}
+
 // mean reduces per-trial responses in query order; fixing the float
 // summation order is what keeps parallel figures bit-equal to serial
 // ones.
@@ -226,6 +251,7 @@ func (c Config) avgTree(trees []*plan.TaskTree, p int, eps, f float64) (float64,
 	if err != nil {
 		return 0, err
 	}
+	c.counted(len(trees))
 	return mean(ys), nil
 }
 
@@ -244,6 +270,7 @@ func (c Config) avgSync(trees []*plan.TaskTree, p int, eps float64) (float64, er
 	if err != nil {
 		return 0, err
 	}
+	c.counted(len(trees))
 	return mean(ys), nil
 }
 
@@ -262,6 +289,7 @@ func (c Config) avgBound(trees []*plan.TaskTree, p int, eps, f float64) (float64
 	if err != nil {
 		return 0, err
 	}
+	c.counted(len(trees))
 	return mean(ys), nil
 }
 
@@ -272,6 +300,7 @@ func Fig5a(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("5a")()
 	const joins, eps = 40, 0.3
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -314,6 +343,7 @@ func Fig5b(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("5b")()
 	const joins, f = 40, 0.7
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -353,6 +383,7 @@ func Fig6a(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("6a")()
 	const eps, f = 0.5, 0.7
 	joinsSweep := []int{10, 20, 30, 40, 50}
 	fig := &Figure{
@@ -395,6 +426,7 @@ func Fig6b(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("6b")()
 	const eps, f = 0.5, 0.7
 	fig := &Figure{
 		ID:     "6b",
@@ -439,6 +471,7 @@ func Malleable(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("malleable")()
 	const joins, eps, f = 20, 0.5, 0.7
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -507,6 +540,7 @@ func OrderAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("order")()
 	const joins, eps, f = 40, 0.5, 0.7
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -570,6 +604,7 @@ func ShelfAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("shelf")()
 	const joins, eps, f = 30, 0.5, 0.7
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -622,6 +657,7 @@ func ContentionAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("contention")()
 	const joins, eps, f = 20, 0.5, 0.7
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -677,6 +713,7 @@ func MemoryAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("memory")()
 	const joins, eps, f, p = 20, 0.5, 0.7, 32
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -734,6 +771,7 @@ func ShapeAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("shape")()
 	const joins, eps, f, p = 20, 0.5, 0.7, 40
 	fig := &Figure{
 		ID:     "shape",
@@ -794,6 +832,7 @@ func PlanSearchAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("plansearch")()
 	const joins, eps, f, k = 15, 0.5, 0.7, 8
 	fig := &Figure{
 		ID:     "plansearch",
@@ -846,6 +885,7 @@ func PipelineAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("pipeline")()
 	const joins, eps, f = 15, 0.5, 0.7
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -904,6 +944,7 @@ func BatchAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("batch")()
 	const joins, eps, f, batch = 10, 0.5, 0.7, 4
 	trees, err := c.workload(joins)
 	if err != nil {
@@ -964,6 +1005,7 @@ func DeclusterAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	defer c.observe("decluster")()
 	const joins, eps, f = 20, 0.5, 0.7
 	trees, err := c.workload(joins)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
 	"mdrs/internal/resource"
 	"mdrs/internal/sched"
 	"mdrs/internal/vector"
@@ -59,6 +60,11 @@ type Scheduler struct {
 	Overlap resource.Overlap
 	// P is the number of system sites.
 	P int
+	// Rec, when non-nil, receives the decision trace: one reshape event
+	// per GF step (which operator's degree grew and the h(N) that drove
+	// it), the final candidate selection, and the placement events of
+	// the list-scheduling pass. Nil disables recording.
+	Rec obs.Recorder
 }
 
 // Validate reports the first nonsensical configuration field.
@@ -124,12 +130,19 @@ func (s Scheduler) Candidates(ops []Operator) ([]Parallelization, error) {
 	}
 	family := []Parallelization{cur.Clone()}
 	for {
-		_, slowest := s.h(ops, cur)
+		h, slowest := s.h(ops, cur)
 		if cur[slowest] >= s.P {
 			// No more sites can be allotted to the largest operator.
 			return family, nil
 		}
 		cur[slowest]++
+		if s.Rec != nil {
+			s.Rec.Count("malleable.reshapes", 1)
+			s.Rec.Event(obs.Event{
+				Type: obs.EvReshape, Op: ops[slowest].ID,
+				From: cur[slowest] - 1, Degree: cur[slowest], H: h,
+			})
+		}
 		family = append(family, cur.Clone())
 	}
 }
@@ -148,6 +161,9 @@ func (s Scheduler) Select(ops []Operator) (Parallelization, float64, error) {
 		if best == nil || lb < bestLB-1e-15 {
 			best, bestLB = n, lb
 		}
+	}
+	if s.Rec != nil {
+		s.Rec.Event(obs.Event{Type: obs.EvSelect, LB: bestLB})
 	}
 	return best, bestLB, nil
 }
@@ -177,7 +193,7 @@ func (s Scheduler) Schedule(ops []Operator) (*Result, error) {
 	for i, op := range ops {
 		schedOps[i] = &sched.Op{ID: op.ID, Clones: s.Model.Clones(op.Cost, n[i])}
 	}
-	res, err := sched.OperatorSchedule(s.P, resource.Dims, s.Overlap, schedOps)
+	res, err := sched.OperatorScheduleObserved(s.P, resource.Dims, s.Overlap, schedOps, s.Rec, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,91 @@
+package malleable
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
+	"mdrs/internal/resource"
+)
+
+func tracedOps(seed int64, m int) []Operator {
+	r := rand.New(rand.NewSource(seed))
+	model := costmodel.Default()
+	ops := make([]Operator, m)
+	for i := range ops {
+		spec := costmodel.OpSpec{
+			InTuples:     1000 + r.Intn(50000),
+			ResultTuples: 1000 + r.Intn(50000),
+		}
+		ops[i] = Operator{ID: i, Cost: model.Cost(spec)}
+	}
+	return ops
+}
+
+// TestReshapeTraceMatchesFamily pins the malleable trace contract: one
+// reshape event per GF step beyond N¹, each growing a degree by exactly
+// one, followed by one select event carrying the chosen lower bound.
+func TestReshapeTraceMatchesFamily(t *testing.T) {
+	ops := tracedOps(17, 4)
+	cap := obs.NewCapture()
+	met := obs.NewMetrics()
+	s := Scheduler{
+		Model:   costmodel.Default(),
+		Overlap: resource.MustOverlap(0.5),
+		P:       8,
+		Rec:     obs.Multi(cap, met),
+	}
+	res, err := s.Schedule(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An identical untraced scheduler must produce the same family, so
+	// tracing is observational only.
+	plain := s
+	plain.Rec = nil
+	family, err := plain.Candidates(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reshapes, selects := 0, 0
+	for _, e := range cap.Events() {
+		switch e.Type {
+		case obs.EvReshape:
+			reshapes++
+			if e.Degree != e.From+1 {
+				t.Fatalf("reshape grew degree %d -> %d", e.From, e.Degree)
+			}
+			if e.Op < 0 || e.Op >= len(ops) {
+				t.Fatalf("reshape names unknown op %d", e.Op)
+			}
+		case obs.EvSelect:
+			selects++
+			if e.LB != res.LB {
+				t.Fatalf("select LB %g != result LB %g", e.LB, res.LB)
+			}
+		}
+	}
+	if reshapes != len(family)-1 {
+		t.Fatalf("%d reshape events for a family of %d", reshapes, len(family))
+	}
+	if selects != 1 {
+		t.Fatalf("%d select events", selects)
+	}
+	if met.Snapshot().Counters["malleable.reshapes"] != int64(reshapes) {
+		t.Fatal("reshape counter disagrees with events")
+	}
+
+	// The list-scheduling pass runs under the same recorder: its place
+	// events must cover the final parallelization's clones.
+	places := obs.TraceAssignments(cap.Events())
+	want := 0
+	for _, n := range res.Parallelization {
+		want += n
+	}
+	if len(places) != want {
+		t.Fatalf("trace has %d placements, parallelization has %d clones", len(places), want)
+	}
+}

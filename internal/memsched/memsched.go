@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
 	"mdrs/internal/plan"
 	"mdrs/internal/resource"
 	"mdrs/internal/sched"
@@ -50,6 +51,10 @@ type Scheduler struct {
 	// TableOverhead scales a hash table's footprint relative to its raw
 	// input bytes (buckets, pointers). Defaults to 1.2 when zero.
 	TableOverhead float64
+	// Rec, when non-nil, receives the decision trace — placements plus
+	// the memory splits (spill decisions) unique to this scheduler —
+	// and aggregate counters. Nil disables recording.
+	Rec obs.Recorder
 }
 
 // Validate reports the first nonsensical configuration field.
@@ -247,6 +252,13 @@ func (s Scheduler) schedulePhase(phaseIdx int, tasks []*plan.Task,
 		}
 	}
 
+	if s.Rec != nil {
+		s.Rec.Event(obs.Event{
+			Type: obs.EvPhaseOpen, Phase: phaseIdx,
+			Ops: len(order), Clones: len(items),
+		})
+	}
+
 	sys := resource.NewSystem(s.P, resource.Dims, s.Overlap)
 	used := make(map[*plan.Operator]map[int]bool)
 	for op := range placements {
@@ -256,6 +268,15 @@ func (s Scheduler) schedulePhase(phaseIdx int, tasks []*plan.Task,
 
 	place := func(it item, site int) {
 		pl := placements[it.op]
+		if s.Rec != nil {
+			st := sys.Site(site)
+			s.Rec.Event(obs.Event{
+				Type: obs.EvPlace, Phase: phaseIdx, Op: it.op.ID,
+				Name: it.op.Name, Clone: it.clone, Site: site,
+				Rooted: it.rootedAt >= 0,
+				L:      st.LoadLength(), Sum: st.LoadSum(),
+			})
+		}
 		// A build clone that does not fit spills the surplus fraction of
 		// its input: charge write+read of the spilled pages (disk) and
 		// the page I/O CPU to this clone, and the re-read to the probe's
@@ -268,6 +289,16 @@ func (s Scheduler) schedulePhase(phaseIdx int, tasks []*plan.Task,
 				sigma := deficit / it.table
 				spilledBytes := sigma * s.Model.Params.Bytes(it.op.Spec.InTuples) / float64(pl.Degree)
 				pl.SpilledBytes += spilledBytes
+				if s.Rec != nil {
+					s.Rec.Count("memsched.spills", 1)
+					s.Rec.Observe("memsched.spilled_bytes", spilledBytes)
+					s.Rec.Event(obs.Event{
+						Type: obs.EvMemSplit, Phase: phaseIdx, Op: it.op.ID,
+						Name: it.op.Name, Clone: it.clone, Site: site,
+						Bytes: it.table, Free: math.Max(free, 0),
+						Spilled: spilledBytes, Sigma: sigma,
+					})
+				}
 				spillVec := s.spillVector(spilledBytes)
 				w = w.Add(spillVec)
 				pl.Clones[it.clone] = w
@@ -374,6 +405,12 @@ func (s Scheduler) schedulePhase(phaseIdx int, tasks []*plan.Task,
 				ph.PeakMemory = used
 			}
 		}
+	}
+	if s.Rec != nil {
+		s.Rec.Observe("memsched.peak_bytes", ph.PeakMemory)
+		s.Rec.Event(obs.Event{
+			Type: obs.EvPhaseClose, Phase: phaseIdx, Response: ph.Response,
+		})
 	}
 	return ph, newLive, nil
 }

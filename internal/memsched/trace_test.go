@@ -1,0 +1,108 @@
+package memsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+)
+
+func tracedScheduler(memBytes float64, rec obs.Recorder) Scheduler {
+	return Scheduler{
+		Model:       costmodel.Default(),
+		Overlap:     resource.MustOverlap(0.5),
+		P:           6,
+		F:           0.7,
+		MemoryBytes: memBytes,
+		Rec:         rec,
+	}
+}
+
+func memTree(t *testing.T, seed int64, joins int) *plan.TaskTree {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	p := query.MustRandom(r, query.DefaultGenConfig(joins))
+	return plan.MustNewTaskTree(plan.MustExpand(p))
+}
+
+// TestTraceCoversPlacementsAndSpills pins the memsched trace contract:
+// every clone placement appears as a place event, and under a tight
+// memory capacity the spill decisions appear as mem_split events whose
+// spilled bytes sum to the schedule's own accounting.
+func TestTraceCoversPlacementsAndSpills(t *testing.T) {
+	tt := memTree(t, 3, 6)
+	cap := obs.NewCapture()
+	met := obs.NewMetrics()
+	res, err := tracedScheduler(64<<10, obs.Multi(cap, met)).Schedule(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSpilledBytes == 0 {
+		t.Fatal("workload did not spill; tighten the capacity for this test")
+	}
+
+	places := obs.TraceAssignments(cap.Events())
+	want := 0
+	spilled := 0.0
+	for _, ph := range res.Phases {
+		for _, pl := range ph.Placements {
+			for k, site := range pl.Sites {
+				want++
+				if got := places[obs.PlaceKey{Phase: ph.Index, Op: pl.Op.ID, Clone: k}]; got != site {
+					t.Fatalf("phase %d op %d clone %d: trace site %d != schedule site %d",
+						ph.Index, pl.Op.ID, k, got, site)
+				}
+			}
+		}
+	}
+	if len(places) != want {
+		t.Fatalf("trace has %d placements, schedule has %d", len(places), want)
+	}
+	for _, e := range cap.Events() {
+		if e.Type == obs.EvMemSplit {
+			spilled += e.Spilled
+			if e.Sigma <= 0 || e.Sigma > 1 {
+				t.Fatalf("spill fraction out of range: %+v", e)
+			}
+			if e.Bytes <= e.Free {
+				t.Fatalf("mem_split for a fitting table: %+v", e)
+			}
+		}
+	}
+	if math.Abs(spilled-res.TotalSpilledBytes) > 1e-6*res.TotalSpilledBytes {
+		t.Fatalf("traced spills %g != scheduled spills %g", spilled, res.TotalSpilledBytes)
+	}
+	snap := met.Snapshot()
+	if snap.Counters["memsched.spills"] == 0 {
+		t.Fatal("spill counter not incremented")
+	}
+	if snap.Histograms["memsched.peak_bytes"].Count != int64(len(res.Phases)) {
+		t.Fatalf("peak memory samples: %+v", snap.Histograms["memsched.peak_bytes"])
+	}
+}
+
+// TestRecorderDoesNotChangeMemSchedule pins that tracing never steers a
+// memory-aware placement or spill decision.
+func TestRecorderDoesNotChangeMemSchedule(t *testing.T) {
+	for _, memBytes := range []float64{0, 64 << 10, 1 << 20} {
+		plain, err := tracedScheduler(memBytes, nil).Schedule(memTree(t, 5, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced, err := tracedScheduler(memBytes, obs.NewCapture()).Schedule(memTree(t, 5, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Response != traced.Response ||
+			plain.TotalSpilledBytes != traced.TotalSpilledBytes {
+			t.Fatalf("capacity %g: traced run diverged: response %g vs %g, spill %g vs %g",
+				memBytes, plain.Response, traced.Response,
+				plain.TotalSpilledBytes, traced.TotalSpilledBytes)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an HTTP server on addr exposing the stdlib
+// diagnostics endpoints — /debug/pprof/* (net/http/pprof) and
+// /debug/vars (expvar) — and returns the bound address (useful with a
+// ":0" listener). The server runs on its own goroutine for the life of
+// the process; commands gate it behind a -debug-addr flag, so nothing
+// listens unless explicitly requested. A dedicated mux is used instead
+// of http.DefaultServeMux so importing this package never mutates
+// global handler state.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}
+
+// PublishExpvar exposes the Metrics snapshot as an expvar variable, so
+// a -debug-addr server serves live aggregates at /debug/vars. Expvar
+// names are process-global and re-publishing panics, so a second call
+// with the same name is ignored.
+func PublishExpvar(name string, m *Metrics) {
+	if m == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

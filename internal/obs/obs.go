@@ -1,0 +1,194 @@
+// Package obs is the repository's stdlib-only observability layer:
+// cheap counters, wall-clock timers, and bounded histograms behind a
+// nil-safe Recorder interface, plus a structured JSON decision trace of
+// every scheduler step.
+//
+// The design goal is that a disabled recorder costs (almost) nothing.
+// All instrumentation goes through either the package-level nil-safe
+// helpers (Count, Observe, Emit, StartTimer) or an explicit `rec != nil`
+// guard at the call site, so the hot paths of the schedulers pay one
+// predictable branch when observability is off. The golden-corpus tests
+// in internal/sched additionally pin that an attached recorder never
+// changes a scheduling decision: recorders observe, they do not steer.
+//
+// Three Recorder implementations cover the intended uses:
+//
+//   - Metrics aggregates counters and bounded histograms in memory and
+//     renders them as a stable JSON snapshot (mdrs-bench -metrics);
+//   - Tracer streams every decision-trace Event as one JSON line to an
+//     io.Writer (mdrs-sched -trace);
+//   - Capture buffers events in memory, for tests and pretty-printing.
+//
+// Multi tees to several recorders at once. All implementations are safe
+// for concurrent use, so they can sit under the engine's parallel clone
+// execution and the experiments worker pool.
+package obs
+
+import "time"
+
+// Recorder receives observations. Implementations must be safe for
+// concurrent use and must tolerate nil receivers where the concrete
+// type is a pointer, so that a typed-nil recorder behind the interface
+// degrades to a no-op instead of a panic.
+type Recorder interface {
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// Observe records one sample of the named distribution (histogram).
+	Observe(name string, v float64)
+	// Event appends one structured decision-trace event.
+	Event(e Event)
+}
+
+// Event is one structured decision-trace record. A single flat struct
+// (rather than one type per event kind) keeps the JSONL schema trivial
+// to parse: consumers switch on Type and read the fields that kind
+// populates; absent fields decode to their zero values.
+type Event struct {
+	// Seq is a monotonically increasing sequence number, assigned by the
+	// emitting recorder (Tracer/Capture), 1-based.
+	Seq int64 `json:"seq,omitempty"`
+	// Type discriminates the event kind; see the Ev* constants.
+	Type string `json:"type"`
+	// Phase is the synchronized-phase index the event belongs to.
+	Phase int `json:"phase"`
+	// Op is the operator ID within the scheduling call.
+	Op int `json:"op,omitempty"`
+	// Name is the operator's human-readable label, when known.
+	Name string `json:"name,omitempty"`
+	// Clone is the clone index (0 = coordinator).
+	Clone int `json:"clone,omitempty"`
+	// Site is the chosen site of a placement.
+	Site int `json:"site,omitempty"`
+	// Rooted marks placements fixed by constraint (B) rather than chosen
+	// by the list rule.
+	Rooted bool `json:"rooted,omitempty"`
+	// L and Sum are the chosen site's (l(work), Σwork) placement key at
+	// pick time, before the clone's vector is assigned.
+	L   float64 `json:"l,omitempty"`
+	Sum float64 `json:"sum,omitempty"`
+	// Banned is the number of better-keyed sites the pick skipped
+	// because they already held a clone of the operator (ban-set hits).
+	Banned int `json:"banned,omitempty"`
+	// Ops and Clones size a phase on EvPhaseOpen.
+	Ops    int `json:"ops,omitempty"`
+	Clones int `json:"clones,omitempty"`
+	// Bytes, Free, Spilled, Sigma describe a memsched memory split: the
+	// requested table bytes, the site's free bytes, the bytes spilled,
+	// and the spill fraction σ.
+	Bytes   float64 `json:"bytes,omitempty"`
+	Free    float64 `json:"free,omitempty"`
+	Spilled float64 `json:"spilled,omitempty"`
+	Sigma   float64 `json:"sigma,omitempty"`
+	// Degree and From record a malleable reshape step: the operator's
+	// degree moved From -> Degree.
+	Degree int `json:"degree,omitempty"`
+	From   int `json:"from,omitempty"`
+	// H is the h(N) value that drove a reshape step.
+	H float64 `json:"h,omitempty"`
+	// LB is the selected parallelization's lower bound on EvSelect.
+	LB float64 `json:"lb,omitempty"`
+	// Response is a phase or execution response time in seconds.
+	Response float64 `json:"response,omitempty"`
+}
+
+// Decision-trace event types.
+const (
+	// EvPhaseOpen opens one synchronized phase (Phase, Ops, Clones).
+	EvPhaseOpen = "phase_open"
+	// EvPhaseClose closes a phase with its analytic response (Response).
+	EvPhaseClose = "phase_close"
+	// EvPlace records one clone->site assignment (Op, Clone, Site, L,
+	// Sum, Rooted).
+	EvPlace = "place"
+	// EvBanHit records that a pick skipped Banned better-keyed sites
+	// already holding a clone of the operator (Op, Clone, Banned).
+	EvBanHit = "ban_hit"
+	// EvMemSplit records a memsched spill decision (Op, Clone, Site,
+	// Bytes, Free, Spilled, Sigma).
+	EvMemSplit = "mem_split"
+	// EvReshape records one malleable GF step: the slowest operator's
+	// degree grows From -> Degree because h(N) = H (Op, From, Degree, H).
+	EvReshape = "reshape"
+	// EvSelect records the malleable candidate selection (LB).
+	EvSelect = "select"
+	// EvExecPhase records one executed phase's measured response in the
+	// engine (Phase, Response).
+	EvExecPhase = "exec_phase"
+)
+
+// Count is the nil-safe form of r.Count.
+func Count(r Recorder, name string, delta int64) {
+	if r != nil {
+		r.Count(name, delta)
+	}
+}
+
+// Observe is the nil-safe form of r.Observe.
+func Observe(r Recorder, name string, v float64) {
+	if r != nil {
+		r.Observe(name, v)
+	}
+}
+
+// Emit is the nil-safe form of r.Event. Callers on hot paths should
+// guard with `rec != nil` themselves so the Event struct is not even
+// built when observability is off.
+func Emit(r Recorder, e Event) {
+	if r != nil {
+		r.Event(e)
+	}
+}
+
+// nopStop is the shared no-op returned by StartTimer for nil recorders.
+var nopStop = func() {}
+
+// StartTimer starts a wall-clock timer; the returned stop function
+// records the elapsed seconds as one Observe sample under name.
+func StartTimer(r Recorder, name string) (stop func()) {
+	if r == nil {
+		return nopStop
+	}
+	start := time.Now()
+	return func() { r.Observe(name, time.Since(start).Seconds()) }
+}
+
+// multi tees every observation to each of its recorders.
+type multi []Recorder
+
+func (m multi) Count(name string, delta int64) {
+	for _, r := range m {
+		r.Count(name, delta)
+	}
+}
+
+func (m multi) Observe(name string, v float64) {
+	for _, r := range m {
+		r.Observe(name, v)
+	}
+}
+
+func (m multi) Event(e Event) {
+	for _, r := range m {
+		r.Event(e)
+	}
+}
+
+// Multi combines recorders into one that broadcasts every observation.
+// Nil entries are dropped; if nothing remains, Multi returns nil (still
+// a valid, disabled recorder under the package's nil-safe helpers), and
+// a single survivor is returned unwrapped.
+func Multi(rs ...Recorder) Recorder {
+	var kept multi
+	for _, r := range rs {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}

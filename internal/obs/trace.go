@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Tracer streams every Event as one JSON line to an io.Writer — the
+// decision-trace format behind `mdrs-sched -trace`. Counters and
+// histogram samples are not part of the trace and are dropped; pair the
+// Tracer with a Metrics recorder via Multi when both are wanted.
+// Methods are safe for concurrent use and tolerate a nil receiver.
+type Tracer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	seq int64
+	err error
+}
+
+// NewTracer returns a Tracer writing JSONL to w. Call Flush before the
+// underlying writer is closed.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Count implements Recorder (dropped; not part of the trace).
+func (t *Tracer) Count(string, int64) {}
+
+// Observe implements Recorder (dropped; not part of the trace).
+func (t *Tracer) Observe(string, float64) {}
+
+// Event implements Recorder: one JSON line per event, with Seq assigned
+// in emission order. The first write error sticks and is reported by
+// Flush/Err; later events are dropped.
+func (t *Tracer) Event(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	e.Seq = t.seq
+	t.err = t.enc.Encode(e)
+}
+
+// Flush drains the buffer and returns the first error seen, if any.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err returns the first write error seen, without flushing.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Capture buffers events in memory, for tests and for pretty-printing a
+// trace after the run. The zero value is ready to use. Methods are safe
+// for concurrent use and tolerate a nil receiver.
+type Capture struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCapture returns an empty in-memory event buffer.
+func NewCapture() *Capture { return &Capture{} }
+
+// Count implements Recorder (dropped).
+func (c *Capture) Count(string, int64) {}
+
+// Observe implements Recorder (dropped).
+func (c *Capture) Observe(string, float64) {}
+
+// Event implements Recorder.
+func (c *Capture) Event(e Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.seqLocked(&c.events[len(c.events)-1])
+	c.mu.Unlock()
+}
+
+// seqLocked assigns the next sequence number (emission order, 1-based).
+func (c *Capture) seqLocked(e *Event) { e.Seq = int64(len(c.events)) }
+
+// Events returns a copy of the captured events in emission order.
+func (c *Capture) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// ReadTrace parses a JSONL decision trace (the Tracer output format).
+func ReadTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", len(events)+1, err)
+		}
+		events = append(events, e)
+	}
+}
+
+// PlaceKey identifies one clone placement within a traced schedule.
+type PlaceKey struct {
+	Phase, Op, Clone int
+}
+
+// TraceAssignments replays the place events of a decision trace into
+// the clone->site assignment they encode. The result maps every placed
+// (phase, op, clone) to its site; replaying a trace and comparing the
+// result against the schedule's placements is the contract the sched
+// tests pin down.
+func TraceAssignments(events []Event) map[PlaceKey]int {
+	sites := make(map[PlaceKey]int)
+	for _, e := range events {
+		if e.Type == EvPlace {
+			sites[PlaceKey{Phase: e.Phase, Op: e.Op, Clone: e.Clone}] = e.Site
+		}
+	}
+	return sites
+}
+
+// WriteTraceText pretty-prints a decision trace for humans — the
+// renderer behind `mdrs-sched -trace-text` and `make trace-demo`.
+func WriteTraceText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		var err error
+		switch e.Type {
+		case EvPhaseOpen:
+			_, err = fmt.Fprintf(bw, "phase %d open: %d operators, %d clones\n",
+				e.Phase, e.Ops, e.Clones)
+		case EvPhaseClose:
+			_, err = fmt.Fprintf(bw, "phase %d close: response %.6f s\n",
+				e.Phase, e.Response)
+		case EvPlace:
+			tag := "float "
+			if e.Rooted {
+				tag = "rooted"
+			}
+			name := e.Name
+			if name == "" {
+				name = fmt.Sprintf("op %d", e.Op)
+			}
+			_, err = fmt.Fprintf(bw,
+				"  place %-16s clone %-3d -> site %-3d %s  key (l=%.6f, sum=%.6f)\n",
+				name, e.Clone, e.Site, tag, e.L, e.Sum)
+		case EvBanHit:
+			_, err = fmt.Fprintf(bw,
+				"  ban-set hit: op %d clone %d skipped %d better site(s)\n",
+				e.Op, e.Clone, e.Banned)
+		case EvMemSplit:
+			_, err = fmt.Fprintf(bw,
+				"  memory split: op %d clone %d at site %d: table %.0f B, free %.0f B, spilled %.0f B (σ=%.3f)\n",
+				e.Op, e.Clone, e.Site, e.Bytes, e.Free, e.Spilled, e.Sigma)
+		case EvReshape:
+			_, err = fmt.Fprintf(bw,
+				"  reshape: op %d degree %d -> %d (h=%.6f)\n", e.Op, e.From, e.Degree, e.H)
+		case EvSelect:
+			_, err = fmt.Fprintf(bw, "  select: parallelization with LB %.6f s\n", e.LB)
+		case EvExecPhase:
+			_, err = fmt.Fprintf(bw, "phase %d executed: measured %.6f s\n",
+				e.Phase, e.Response)
+		default:
+			_, err = fmt.Fprintf(bw, "  %s: %+v\n", e.Type, e)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

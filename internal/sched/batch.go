@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
 	"mdrs/internal/plan"
 	"mdrs/internal/resource"
 )
@@ -74,9 +75,24 @@ func (ts TreeScheduler) ScheduleBatch(trees []*plan.TaskTree) (*Schedule, error)
 				}
 			}
 		}
-		res, err := OperatorSchedule(ts.P, resource.Dims, ts.Overlap, ops)
+		if ts.Rec != nil {
+			clones := 0
+			for _, op := range ops {
+				clones += len(op.Clones)
+			}
+			ts.Rec.Event(obs.Event{
+				Type: obs.EvPhaseOpen, Phase: phaseIdx,
+				Ops: len(ops), Clones: clones,
+			})
+		}
+		res, err := operatorSchedule(ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx)
 		if err != nil {
 			return nil, fmt.Errorf("sched: batch phase %d: %w", phaseIdx, err)
+		}
+		if ts.Rec != nil {
+			ts.Rec.Event(obs.Event{
+				Type: obs.EvPhaseClose, Phase: phaseIdx, Response: res.Response,
+			})
 		}
 		ph := &PhaseSchedule{Index: phaseIdx, Tasks: tasks, Response: res.Response}
 		for _, op := range ops {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mdrs/internal/obs"
 	"mdrs/internal/resource"
 	"mdrs/internal/vector"
 )
@@ -98,7 +99,17 @@ type Result struct {
 // (e.g. min{N_max(op, f), P} via the cost model); rooted operators carry
 // their fixed homes.
 func OperatorSchedule(p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
-	return operatorSchedule(p, d, ov, ops, true)
+	return operatorSchedule(p, d, ov, ops, true, nil, 0)
+}
+
+// OperatorScheduleObserved is OperatorSchedule with a recorder attached:
+// every placement decision is emitted as a decision-trace event tagged
+// with the given phase index, alongside aggregate counters. A nil
+// recorder makes it identical to OperatorSchedule; the recorder never
+// influences a placement.
+func OperatorScheduleObserved(p, d int, ov resource.Overlap, ops []*Op,
+	rec obs.Recorder, phase int) (*Result, error) {
+	return operatorSchedule(p, d, ov, ops, true, rec, phase)
 }
 
 // OperatorScheduleUnordered applies the same packing rule but feeds the
@@ -106,10 +117,11 @@ func OperatorSchedule(p, d int, ov resource.Overlap, ops []*Op) (*Result, error)
 // for the list-order ablation; the Theorem 5.1 bound is proved for the
 // sorted order only.
 func OperatorScheduleUnordered(p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
-	return operatorSchedule(p, d, ov, ops, false)
+	return operatorSchedule(p, d, ov, ops, false, nil, 0)
 }
 
-func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool) (*Result, error) {
+func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool,
+	rec obs.Recorder, phase int) (*Result, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("sched: non-positive site count %d", p)
 	}
@@ -144,7 +156,15 @@ func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool) (*R
 		}
 		sites := make([]int, len(op.Clones))
 		for k, w := range op.Clones {
-			sys.Site(op.Home[k]).Assign(w)
+			s := sys.Site(op.Home[k])
+			if rec != nil {
+				rec.Event(obs.Event{
+					Type: obs.EvPlace, Phase: phase, Op: op.ID, Clone: k,
+					Site: op.Home[k], Rooted: true,
+					L: s.LoadLength(), Sum: s.LoadSum(),
+				})
+			}
+			s.Assign(w)
 			sites[k] = op.Home[k]
 		}
 		res.Sites[op.ID] = sites
@@ -205,10 +225,30 @@ func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool) (*R
 	ix := newSiteIndex(sys)
 	for _, it := range list {
 		bans := used[it.op.ID]
-		best := ix.pick(bans)
+		var best int
+		if rec == nil {
+			best = ix.pick(bans)
+		} else {
+			var skipped int
+			best, skipped = ix.pickSkips(bans)
+			if skipped > 0 {
+				rec.Count("sched.ban_hits", int64(skipped))
+				rec.Event(obs.Event{
+					Type: obs.EvBanHit, Phase: phase, Op: it.op.ID,
+					Clone: it.clone, Banned: skipped,
+				})
+			}
+		}
 		if best < 0 {
 			// Unreachable given validate(): degree <= P and distinct homes.
 			return nil, fmt.Errorf("sched: no allowable site for op %d clone %d", it.op.ID, it.clone)
+		}
+		if rec != nil {
+			s := sys.Site(best)
+			rec.Event(obs.Event{
+				Type: obs.EvPlace, Phase: phase, Op: it.op.ID, Clone: it.clone,
+				Site: best, L: s.LoadLength(), Sum: s.LoadSum(),
+			})
 		}
 		sys.Site(best).Assign(it.op.Clones[it.clone])
 		ix.update(sys, best)
@@ -217,6 +257,16 @@ func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool) (*R
 	}
 
 	res.Response = sys.MaxTSite()
+	if rec != nil {
+		total := 0
+		for _, op := range ops {
+			total += len(op.Clones)
+		}
+		rec.Count("sched.ops", int64(len(ops)))
+		rec.Count("sched.clones_floating", int64(len(list)))
+		rec.Count("sched.clones_rooted", int64(total-len(list)))
+		rec.Observe("sched.phase_response", res.Response)
+	}
 	return res, nil
 }
 

@@ -72,6 +72,21 @@ func (ix *siteIndex) pick(bans map[int]bool) int {
 	return -1
 }
 
+// pickSkips is pick plus the number of better-keyed sites the walk
+// skipped because the ban set held them — the "ban-set hit" count of
+// the decision trace. Kept separate from pick so the untraced hot path
+// does not carry the extra counter.
+func (ix *siteIndex) pickSkips(bans map[int]bool) (site, skipped int) {
+	for _, k := range ix.order {
+		if bans[k.id] {
+			skipped++
+			continue
+		}
+		return k.id, skipped
+	}
+	return -1, skipped
+}
+
 // update re-keys site id after new work was assigned to it. The key can
 // only have grown, so the site bubbles toward the back of the order; the
 // shift distance is the number of sites it overtakes.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
 	"mdrs/internal/plan"
 	"mdrs/internal/resource"
 	"mdrs/internal/vector"
@@ -28,6 +29,11 @@ type TreeScheduler struct {
 	// Policy selects the phase-packing policy; the zero value is the
 	// paper's MinShelf.
 	Policy plan.PhasePolicy
+	// Rec, when non-nil, receives the decision trace (every placement,
+	// phase boundary, and ban-set hit) plus aggregate counters and
+	// timers. It never influences a scheduling decision; nil disables
+	// all recording at near-zero cost.
+	Rec obs.Recorder
 }
 
 // Validate reports the first nonsensical configuration field.
@@ -127,9 +133,27 @@ func (ts TreeScheduler) Schedule(tt *plan.TaskTree) (*Schedule, error) {
 			}
 		}
 
-		res, err := OperatorSchedule(ts.P, resource.Dims, ts.Overlap, ops)
+		if ts.Rec != nil {
+			clones := 0
+			for _, op := range ops {
+				clones += len(op.Clones)
+			}
+			ts.Rec.Event(obs.Event{
+				Type: obs.EvPhaseOpen, Phase: phaseIdx,
+				Ops: len(ops), Clones: clones,
+			})
+		}
+		stop := obs.StartTimer(ts.Rec, "sched.phase_seconds")
+		res, err := operatorSchedule(ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx)
+		stop()
 		if err != nil {
 			return nil, fmt.Errorf("sched: phase %d: %w", phaseIdx, err)
+		}
+		if ts.Rec != nil {
+			ts.Rec.Count("sched.phases", 1)
+			ts.Rec.Event(obs.Event{
+				Type: obs.EvPhaseClose, Phase: phaseIdx, Response: res.Response,
+			})
 		}
 
 		ph := &PhaseSchedule{Index: phaseIdx, Tasks: tasks, Response: res.Response}

@@ -12,6 +12,7 @@ import (
 	"mdrs/internal/experiments"
 	"mdrs/internal/malleable"
 	"mdrs/internal/memsched"
+	"mdrs/internal/obs"
 	"mdrs/internal/opt"
 	"mdrs/internal/optimizer"
 	"mdrs/internal/pipesim"
@@ -118,6 +119,22 @@ type (
 	PhasePolicy = plan.PhasePolicy
 	// ScheduleStatsSummary summarizes a schedule's resource economics.
 	ScheduleStatsSummary = sched.Stats
+	// Recorder receives counters, timing samples, and decision-trace
+	// events from the schedulers and the engine. A nil Recorder is the
+	// fully-disabled (and essentially free) default.
+	Recorder = obs.Recorder
+	// TraceEvent is one structured decision-trace record.
+	TraceEvent = obs.Event
+	// Tracer is a Recorder streaming events as JSON lines.
+	Tracer = obs.Tracer
+	// Metrics is a Recorder aggregating counters and histograms.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Metrics recorder.
+	MetricsSnapshot = obs.Snapshot
+	// TraceCapture is a Recorder buffering events in memory.
+	TraceCapture = obs.Capture
+	// PlaceKey identifies one clone placement in a replayed trace.
+	PlaceKey = obs.PlaceKey
 )
 
 // Plan shapes.
@@ -209,6 +226,10 @@ type Options struct {
 	Epsilon float64
 	// F is the coarse-granularity parameter (TreeSchedule only).
 	F float64
+	// Rec, when non-nil, receives the scheduler's decision trace and
+	// counters. It is strictly observational: the schedule is identical
+	// with or without it.
+	Rec Recorder
 }
 
 func (o Options) normalize() (CostModel, Overlap, error) {
@@ -240,7 +261,7 @@ func ScheduleQuery(p *PlanNode, o Options) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sched.TreeScheduler{Model: m, Overlap: ov, P: o.Sites, F: o.F}.Schedule(tt)
+	return sched.TreeScheduler{Model: m, Overlap: ov, P: o.Sites, F: o.F, Rec: o.Rec}.Schedule(tt)
 }
 
 // ScheduleQuerySynchronous runs the one-dimensional baseline on a plan
@@ -331,6 +352,39 @@ func WriteScheduleText(w io.Writer, s *Schedule) error { return sched.WriteText(
 
 // ScheduleStats summarizes a schedule's resource economics.
 func ScheduleStats(s *Schedule) sched.Stats { return s.Stats() }
+
+// NewTracer returns a Recorder that streams decision-trace events to w
+// as JSON lines. Call Flush (and check Err) when done.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// NewMetrics returns a Recorder aggregating counters and bounded
+// histograms; safe for concurrent use.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewTraceCapture returns a Recorder buffering events in memory.
+func NewTraceCapture() *TraceCapture { return obs.NewCapture() }
+
+// MultiRecorder tees every record to each non-nil recorder.
+func MultiRecorder(rs ...Recorder) Recorder { return obs.Multi(rs...) }
+
+// ReadTrace decodes a JSONL decision trace written by a Tracer.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadTrace(r) }
+
+// WriteTraceText pretty-prints a decision trace for human reading.
+func WriteTraceText(w io.Writer, events []TraceEvent) error { return obs.WriteTraceText(w, events) }
+
+// TraceAssignments replays a decision trace into the clone→site
+// assignment it recorded.
+func TraceAssignments(events []TraceEvent) map[PlaceKey]int { return obs.TraceAssignments(events) }
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof
+// under /debug/pprof/ and expvar under /debug/vars, returning the bound
+// address (useful with ":0").
+func ServeDebug(addr string) (string, error) { return obs.ServeDebug(addr) }
+
+// PublishExpvar exposes a Metrics recorder's live snapshot as the named
+// expvar, visible at /debug/vars on the ServeDebug server.
+func PublishExpvar(name string, m *Metrics) { obs.PublishExpvar(name, m) }
 
 // DefaultExperiments returns the paper-scale experiment configuration
 // (20 queries per point, 10–140 sites).
