@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obs-race bench bench-placement figures trace-demo
+.PHONY: check build vet test race obs-race serve-race bench bench-placement figures trace-demo
 
-check: build vet race obs-race
+check: build vet race obs-race serve-race
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ race:
 # parallel clone runner and the experiments worker pool.
 obs-race:
 	$(GO) test -race -count=1 ./internal/obs ./internal/engine ./internal/experiments
+
+# The scheduling service's concurrency gate: admission control, window
+# batching, cancellation, and the HTTP layer, fresh under the race
+# detector (the acceptance tests drive 32+ concurrent requests).
+serve-race:
+	$(GO) test -race -count=1 ./internal/serve ./cmd/mdrs-serve
 
 # Placement micro-benchmark tracked in BENCH_sched.json.
 bench-placement:

@@ -117,23 +117,30 @@ func main() {
 		fmt.Println()
 	}
 
+	// Write the report and metrics sinks even when a figure fails:
+	// exiting first would discard the timings of the figures that did
+	// finish and every counter the recorder collected, leaving partial
+	// runs with nothing to diagnose from.
 	report, err := emit(os.Stdout, cfg, *fig, *asCSV)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
-		os.Exit(1)
 	}
+	failed := err != nil
 	if *benchJSON != "" {
 		report.Quick = *quick
-		if err := writeReport(*benchJSON, report); err != nil {
-			fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
-			os.Exit(1)
+		if werr := writeReport(*benchJSON, report); werr != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", werr)
+			failed = true
 		}
 	}
 	if *metricsJSON != "" {
-		if err := writeMetrics(*metricsJSON, met); err != nil {
-			fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
-			os.Exit(1)
+		if werr := writeMetrics(*metricsJSON, met); werr != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", werr)
+			failed = true
 		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 
@@ -151,7 +158,8 @@ func writeMetrics(path string, m *obs.Metrics) error {
 }
 
 // emit regenerates one figure (or all of them) into w, as aligned text
-// or CSV, timing each regeneration for the bench report.
+// or CSV, timing each regeneration for the bench report. On error the
+// report is still returned, holding the figures completed so far.
 func emit(w io.Writer, cfg experiments.Config, name string, asCSV bool) (*benchReport, error) {
 	names := []string{name}
 	if name == "all" {
@@ -161,12 +169,12 @@ func emit(w io.Writer, cfg experiments.Config, name string, asCSV bool) (*benchR
 	for _, n := range names {
 		fn, ok := figures[n]
 		if !ok {
-			return nil, fmt.Errorf("unknown figure %q", n)
+			return report, fmt.Errorf("unknown figure %q", n)
 		}
 		start := time.Now()
 		f, err := fn(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", n, err)
+			return report, fmt.Errorf("%s: %w", n, err)
 		}
 		secs := time.Since(start).Seconds()
 		report.Figures = append(report.Figures, figureTiming{Figure: n, Seconds: secs})
@@ -176,7 +184,7 @@ func emit(w io.Writer, cfg experiments.Config, name string, asCSV bool) (*benchR
 			write = experiments.WriteCSV
 		}
 		if err := write(w, f); err != nil {
-			return nil, err
+			return report, err
 		}
 	}
 	return report, nil

@@ -42,6 +42,27 @@ func TestEmitUnknownFigure(t *testing.T) {
 	}
 }
 
+// A failing emit still returns the report accumulated so far, so main
+// can write the -benchjson and -metrics sinks before exiting non-zero.
+func TestEmitReturnsReportOnError(t *testing.T) {
+	var sb strings.Builder
+	cfg := testConfig()
+	report, err := emit(&sb, cfg, "9z", false)
+	if err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if report == nil {
+		t.Fatal("failed emit discarded the bench report")
+	}
+	if report.Queries != cfg.Queries || report.Seed != cfg.Seed {
+		t.Fatalf("partial report lost its config: %+v", report)
+	}
+	path := filepath.Join(t.TempDir(), "partial.json")
+	if err := writeReport(path, report); err != nil {
+		t.Fatalf("partial report not writable: %v", err)
+	}
+}
+
 func TestEmitAllCoversEveryRegisteredFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure sweep")

@@ -12,6 +12,10 @@
 //	mdrs-sched -plan plan.json -trace-text            # decision trace, pretty
 //	mdrs-sched -sites 32 q1.json q2.json q3.json      # multi-query batch
 //
+// Batch mode honors the same output flags as single-query mode: -json
+// emits the combined batch schedule, -v lists its placements, -trace
+// and -trace-text record the batch scheduling decisions.
+//
 // -debug-addr serves net/http/pprof and expvar for profiling long runs.
 package main
 
@@ -62,7 +66,7 @@ func main() {
 	if flag.NArg() > 0 {
 		// Batch mode: every positional argument is a plan file; all
 		// queries are scheduled together with inter-query sharing.
-		if err := runBatch(os.Stdout, flag.Args(), o.sites, o.eps, o.f); err != nil {
+		if err := runBatch(os.Stdout, flag.Args(), o); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrs-sched: %v\n", err)
 			os.Exit(1)
 		}
@@ -74,14 +78,67 @@ func main() {
 	}
 }
 
+// recorders assembles the recorder stack the flags ask for: a JSONL
+// tracer, an in-memory capture for -trace-text, or nothing (the free
+// default). The returned close function flushes and closes the trace
+// file; callers must run it on every path, including failed ones, so
+// the trace is never left truncated in the writer's buffer.
+func (o options) recorders() (mdrs.Recorder, *mdrs.TraceCapture, func() error, error) {
+	var recs []mdrs.Recorder
+	var tracer *mdrs.Tracer
+	var tf *os.File
+	if o.tracePath != "" {
+		var err error
+		tf, err = os.Create(o.tracePath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		tracer = mdrs.NewTracer(tf)
+		recs = append(recs, tracer)
+	}
+	var capture *mdrs.TraceCapture
+	if o.traceText {
+		capture = mdrs.NewTraceCapture()
+		recs = append(recs, capture)
+	}
+	closeSinks := func() error {
+		if tf == nil {
+			return nil
+		}
+		err := tracer.Flush()
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", o.tracePath, err)
+		}
+		return nil
+	}
+	return mdrs.MultiRecorder(recs...), capture, closeSinks, nil
+}
+
 // runBatch schedules several plans as one workload and compares the
-// batch makespan against back-to-back execution.
-func runBatch(w io.Writer, paths []string, sites int, eps, f float64) error {
-	ov, err := mdrs.NewOverlap(eps)
+// batch makespan against back-to-back execution. The recorder flags
+// observe the batch call only: the per-query baselines reuse
+// (phase, operator, clone) keys across queries and would collide in a
+// replayed trace.
+func runBatch(w io.Writer, paths []string, o options) (err error) {
+	ov, err := mdrs.NewOverlap(o.eps)
 	if err != nil {
 		return err
 	}
-	ts := mdrs.TreeScheduler{Model: mdrs.DefaultCostModel(), Overlap: ov, P: sites, F: f}
+	ts := mdrs.TreeScheduler{Model: mdrs.DefaultCostModel(), Overlap: ov, P: o.sites, F: o.f}
+
+	rec, capture, closeSinks, err := o.recorders()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeSinks(); err == nil {
+			err = cerr
+		}
+	}()
+
 	var trees []*mdrs.TaskTree
 	serial := 0.0
 	for _, path := range paths {
@@ -101,23 +158,65 @@ func runBatch(w io.Writer, paths []string, sites int, eps, f float64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-30s %2d joins  alone: %9.3f s\n", path, p.Joins(), s.Response)
+		if !o.asJSON {
+			fmt.Fprintf(w, "%-30s %2d joins  alone: %9.3f s\n", path, p.Joins(), s.Response)
+		}
 		serial += s.Response
 		trees = append(trees, tt)
 	}
-	batch, err := ts.ScheduleBatch(trees)
+	bts := ts
+	bts.Rec = rec
+	batch, err := bts.ScheduleBatch(trees)
 	if err != nil {
 		return err
+	}
+	if o.asJSON {
+		data, err := mdrs.EncodeScheduleJSON(batch)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(data))
+		return nil
 	}
 	fmt.Fprintf(w, "\nback-to-back: %9.3f s\n", serial)
 	fmt.Fprintf(w, "batched:      %9.3f s  (%.2fx faster via inter-query sharing)\n",
 		batch.Response, serial/batch.Response)
+	if o.chart {
+		fmt.Fprintln(w)
+		if err := mdrs.WriteScheduleText(w, batch); err != nil {
+			return err
+		}
+	}
+	if o.verbose {
+		writePlacements(w, batch)
+	}
+	if capture != nil {
+		fmt.Fprintf(w, "\ndecision trace (%d events):\n", len(capture.Events()))
+		if err := mdrs.WriteTraceText(w, capture.Events()); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func run(w io.Writer, o options) error {
+// writePlacements lists every operator placement, phase by phase.
+func writePlacements(w io.Writer, s *mdrs.Schedule) {
+	for _, ph := range s.Phases {
+		fmt.Fprintf(w, "\nphase %d (%d tasks): response %.3f s\n",
+			ph.Index, len(ph.Tasks), ph.Response)
+		for _, pl := range ph.Placements {
+			tag := "float "
+			if pl.Rooted {
+				tag = "rooted"
+			}
+			fmt.Fprintf(w, "  %-14s %s N=%-3d T^par=%8.3f s  sites=%v\n",
+				pl.Op.Name, tag, pl.Degree, pl.TPar, pl.Sites)
+		}
+	}
+}
+
+func run(w io.Writer, o options) (err error) {
 	var data []byte
-	var err error
 	if o.planPath == "-" {
 		data, err = io.ReadAll(os.Stdin)
 	} else {
@@ -131,34 +230,20 @@ func run(w io.Writer, o options) error {
 		return err
 	}
 
-	// Assemble the recorder stack the flags ask for: a JSONL tracer, an
-	// in-memory capture for -trace-text, or nothing (the free default).
-	var recs []mdrs.Recorder
-	var tracer *mdrs.Tracer
-	if o.tracePath != "" {
-		tf, err := os.Create(o.tracePath)
-		if err != nil {
-			return err
-		}
-		defer tf.Close()
-		tracer = mdrs.NewTracer(tf)
-		recs = append(recs, tracer)
-	}
-	var capture *mdrs.TraceCapture
-	if o.traceText {
-		capture = mdrs.NewTraceCapture()
-		recs = append(recs, capture)
-	}
-
-	opts := mdrs.Options{Sites: o.sites, Epsilon: o.eps, F: o.f, Rec: mdrs.MultiRecorder(recs...)}
-	tree, err := mdrs.ScheduleQuery(p, opts)
+	rec, capture, closeSinks, err := o.recorders()
 	if err != nil {
 		return err
 	}
-	if tracer != nil {
-		if err := tracer.Flush(); err != nil {
-			return fmt.Errorf("writing %s: %w", o.tracePath, err)
+	defer func() {
+		if cerr := closeSinks(); err == nil {
+			err = cerr
 		}
+	}()
+
+	opts := mdrs.Options{Sites: o.sites, Epsilon: o.eps, F: o.f, Rec: rec}
+	tree, err := mdrs.ScheduleQuery(p, opts)
+	if err != nil {
+		return err
 	}
 	if o.asJSON {
 		data, err := mdrs.EncodeScheduleJSON(tree)
@@ -195,18 +280,7 @@ func run(w io.Writer, o options) error {
 	}
 
 	if o.verbose {
-		for _, ph := range tree.Phases {
-			fmt.Fprintf(w, "\nphase %d (%d tasks): response %.3f s\n",
-				ph.Index, len(ph.Tasks), ph.Response)
-			for _, pl := range ph.Placements {
-				tag := "float "
-				if pl.Rooted {
-					tag = "rooted"
-				}
-				fmt.Fprintf(w, "  %-14s %s N=%-3d T^par=%8.3f s  sites=%v\n",
-					pl.Op.Name, tag, pl.Degree, pl.TPar, pl.Sites)
-			}
-		}
+		writePlacements(w, tree)
 	}
 
 	if capture != nil {

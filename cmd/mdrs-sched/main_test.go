@@ -84,11 +84,15 @@ func TestRunChartOutput(t *testing.T) {
 	}
 }
 
+func batchOptions(sites int) options {
+	return options{sites: sites, eps: 0.5, f: 0.7}
+}
+
 func TestRunBatch(t *testing.T) {
 	p1 := writePlan(t, 4)
 	p2 := writePlan(t, 6)
 	var sb strings.Builder
-	if err := runBatch(&sb, []string{p1, p2}, 12, 0.5, 0.7); err != nil {
+	if err := runBatch(&sb, []string{p1, p2}, batchOptions(12)); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -101,12 +105,108 @@ func TestRunBatch(t *testing.T) {
 
 func TestRunBatchErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := runBatch(&sb, []string{"/nonexistent.json"}, 8, 0.5, 0.7); err == nil {
+	if err := runBatch(&sb, []string{"/nonexistent.json"}, batchOptions(8)); err == nil {
 		t.Error("missing batch file accepted")
 	}
 	p := writePlan(t, 3)
-	if err := runBatch(&sb, []string{p}, 8, -1, 0.7); err == nil {
+	bad := batchOptions(8)
+	bad.eps = -1
+	if err := runBatch(&sb, []string{p}, bad); err == nil {
 		t.Error("invalid ε accepted")
+	}
+}
+
+func TestRunBatchJSONOutput(t *testing.T) {
+	p1 := writePlan(t, 4)
+	p2 := writePlan(t, 5)
+	o := batchOptions(10)
+	o.asJSON = true
+	var sb strings.Builder
+	if err := runBatch(&sb, []string{p1, p2}, o); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Response float64 `json:"response_seconds"`
+		Sites    int     `json:"sites"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("-json batch output is not pure JSON: %v\n%s", err, sb.String())
+	}
+	if decoded.Sites != 10 || decoded.Response <= 0 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+}
+
+func TestRunBatchVerboseListsPlacements(t *testing.T) {
+	p1 := writePlan(t, 4)
+	o := batchOptions(8)
+	o.verbose = true
+	var sb strings.Builder
+	if err := runBatch(&sb, []string{p1, p1}, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "phase 0") || !strings.Contains(out, "scan(") {
+		t.Fatalf("verbose batch output missing placements:\n%s", out)
+	}
+}
+
+func TestRunBatchTraceWritesReplayableJSONL(t *testing.T) {
+	p1 := writePlan(t, 4)
+	p2 := writePlan(t, 6)
+	o := batchOptions(12)
+	o.tracePath = filepath.Join(t.TempDir(), "batch-trace.jsonl")
+	var sb strings.Builder
+	if err := runBatch(&sb, []string{p1, p2}, o); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(o.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	events, err := mdrs.ReadTrace(tf)
+	if err != nil {
+		t.Fatalf("batch trace is not valid JSONL: %v", err)
+	}
+	if len(mdrs.TraceAssignments(events)) == 0 {
+		t.Fatal("batch trace has no place events")
+	}
+}
+
+func TestRunBatchTraceText(t *testing.T) {
+	p1 := writePlan(t, 5)
+	o := batchOptions(8)
+	o.traceText = true
+	var sb strings.Builder
+	if err := runBatch(&sb, []string{p1}, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"decision trace (", "phase", "place"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("batch trace text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBatchTraceFlushedOnError(t *testing.T) {
+	// A failing run must still leave a complete, parseable trace file:
+	// the sinks are flushed and closed on every path, not only success.
+	p1 := writePlan(t, 4)
+	o := batchOptions(10)
+	o.tracePath = filepath.Join(t.TempDir(), "partial.jsonl")
+	var sb strings.Builder
+	if err := runBatch(&sb, []string{p1, "/nonexistent.json"}, o); err == nil {
+		t.Fatal("missing batch file accepted")
+	}
+	tf, err := os.Open(o.tracePath)
+	if err != nil {
+		t.Fatalf("trace file missing after failed run: %v", err)
+	}
+	defer tf.Close()
+	if _, err := mdrs.ReadTrace(tf); err != nil {
+		t.Fatalf("failed run left a truncated trace: %v", err)
 	}
 }
 

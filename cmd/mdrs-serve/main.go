@@ -1,0 +1,207 @@
+// Command mdrs-serve runs the concurrent multi-query scheduling service
+// over HTTP: POST a JSON-encoded bushy hash-join plan (e.g. produced by
+// mdrs-plangen) to /schedule and receive its TreeSchedule as JSON.
+// Requests arriving within the batching window are scheduled together
+// as one ScheduleBatch workload with inter-query resource sharing;
+// admission control sheds load beyond the in-flight limit and wait
+// queue with 503.
+//
+// Usage:
+//
+//	mdrs-serve -addr :8080 -sites 32 -eps 0.5 -f 0.7
+//	mdrs-plangen -joins 8 | curl -s -X POST --data-binary @- localhost:8080/schedule
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metricz
+//
+// Endpoints:
+//
+//	POST /schedule  plan JSON in, schedule JSON out. Response headers
+//	                X-Mdrs-Batch-Size, X-Mdrs-Batch-Index, and
+//	                X-Mdrs-Solo describe the grouping. Errors: 400 for
+//	                a bad plan, 503 (with Retry-After) when shed or
+//	                shutting down, 504 past the request deadline.
+//	GET  /healthz   liveness plus in-flight and queued counts.
+//	GET  /metricz   service and scheduler metrics snapshot.
+//
+// -debug-addr additionally serves net/http/pprof and expvar.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"mdrs"
+)
+
+// options carries the full mdrs-serve flag surface.
+type options struct {
+	addr        string
+	sites       int
+	eps, f      float64
+	maxInFlight int
+	maxQueue    int
+	maxBatch    int
+	batchWindow time.Duration
+	soloMargin  time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	flag.IntVar(&o.sites, "sites", 32, "number of system sites P")
+	flag.Float64Var(&o.eps, "eps", 0.5, "resource overlap parameter ε in [0,1]")
+	flag.Float64Var(&o.f, "f", 0.7, "coarse-granularity parameter f")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 0, "admission limit on concurrent requests (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxQueue, "max-queue", 0, "bounded wait queue beyond the admission limit (0 = 4x limit, -1 = none)")
+	flag.IntVar(&o.maxBatch, "max-batch", 8, "maximum queries per batched workload")
+	flag.DurationVar(&o.batchWindow, "batch-window", 2*time.Millisecond, "how long a group waits for companion queries")
+	flag.DurationVar(&o.soloMargin, "solo-margin", 0, "deadlines nearer than this skip batching (0 = 4x window)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
+	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := mdrs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mdrs-serve: debug server on http://%s/debug/pprof/\n", addr)
+	}
+
+	met := mdrs.NewMetrics()
+	mdrs.PublishExpvar("mdrs_serve", met)
+	svc, err := newService(o, met)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdrs-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: o.addr, Handler: newHandler(svc, met)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mdrs-serve: listening on %s (P=%d, ε=%.2f, f=%.2f)\n",
+		o.addr, o.sites, o.eps, o.f)
+
+	select {
+	case <-ctx.Done():
+		// Stop accepting connections, let in-flight requests finish, then
+		// drain the scheduling service.
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-serve: shutdown: %v\n", err)
+		}
+		svc.Close()
+	case err := <-errCh:
+		svc.Close()
+		fmt.Fprintf(os.Stderr, "mdrs-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// newService builds the scheduling service from the flag surface.
+func newService(o options, rec mdrs.Recorder) (*mdrs.SchedulingService, error) {
+	ov, err := mdrs.NewOverlap(o.eps)
+	if err != nil {
+		return nil, err
+	}
+	return mdrs.NewSchedulingService(mdrs.ServeConfig{
+		Scheduler: mdrs.TreeScheduler{
+			Model:   mdrs.DefaultCostModel(),
+			Overlap: ov,
+			P:       o.sites,
+			F:       o.f,
+		},
+		MaxInFlight: o.maxInFlight,
+		MaxQueue:    o.maxQueue,
+		MaxBatch:    o.maxBatch,
+		BatchWindow: o.batchWindow,
+		SoloMargin:  o.soloMargin,
+		Rec:         rec,
+	})
+}
+
+// newHandler routes the service's HTTP surface; split from main so the
+// tests can drive it through httptest without a listener.
+func newHandler(svc *mdrs.SchedulingService, met *mdrs.Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST a plan JSON body", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p, err := mdrs.DecodePlan(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		_, tt, err := mdrs.PrepareQuery(p)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := svc.Schedule(r.Context(), tt)
+		if err != nil {
+			writeScheduleError(w, err)
+			return
+		}
+		data, err := mdrs.EncodeScheduleJSON(res.Schedule)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("X-Mdrs-Batch-Size", strconv.Itoa(len(res.Group)))
+		h.Set("X-Mdrs-Batch-Index", strconv.Itoa(res.Index))
+		h.Set("X-Mdrs-Solo", strconv.FormatBool(res.Solo))
+		w.Write(data)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"inflight\":%d,\"queued\":%d}\n",
+			svc.InFlight(), svc.Queued())
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := met.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// writeScheduleError maps service errors onto HTTP statuses: shed and
+// shutdown are retryable 503s, a blown deadline is 504, a cancelled
+// client gets 499-style treatment via 400 (it is gone anyway), and
+// anything else is a 500.
+func writeScheduleError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, mdrs.ErrOverloaded), errors.Is(err, mdrs.ErrServiceClosed):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

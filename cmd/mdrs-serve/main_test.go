@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mdrs"
+)
+
+func encodePlan(t *testing.T, seed int64, joins int) []byte {
+	t.Helper()
+	p := mdrs.MustRandomPlan(rand.New(rand.NewSource(seed)), mdrs.DefaultGenConfig(joins))
+	data, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func newTestHandler(t *testing.T, o options) (http.Handler, *mdrs.Metrics) {
+	t.Helper()
+	met := mdrs.NewMetrics()
+	svc, err := newService(o, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return newHandler(svc, met), met
+}
+
+func testOptions() options {
+	return options{sites: 12, eps: 0.5, f: 0.7, maxBatch: 8, batchWindow: time.Millisecond}
+}
+
+func TestScheduleEndpointReturnsSchedule(t *testing.T) {
+	h, _ := newTestHandler(t, testOptions())
+	plan := encodePlan(t, 7, 5)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(plan)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("Content-Type %q", got)
+	}
+	for _, hdr := range []string{"X-Mdrs-Batch-Size", "X-Mdrs-Batch-Index", "X-Mdrs-Solo"} {
+		if rec.Header().Get(hdr) == "" {
+			t.Fatalf("missing header %s", hdr)
+		}
+	}
+	var decoded struct {
+		Response float64 `json:"response_seconds"`
+		Sites    int     `json:"sites"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid schedule JSON: %v", err)
+	}
+	if decoded.Sites != 12 || decoded.Response <= 0 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+
+	// An uncontended request forms a group of one, so the served body is
+	// byte-identical to a direct end-to-end TreeSchedule of the plan.
+	p, err := mdrs.DecodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := mdrs.ScheduleQuery(p, mdrs.Options{Sites: 12, Epsilon: 0.5, F: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mdrs.EncodeScheduleJSON(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatal("served schedule differs from direct ScheduleQuery")
+	}
+}
+
+func TestScheduleEndpointServesConcurrentClients(t *testing.T) {
+	h, met := newTestHandler(t, options{
+		sites: 12, eps: 0.5, f: 0.7,
+		maxInFlight: 4, maxBatch: 4, batchWindow: 3 * time.Millisecond,
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	const clients = 12
+	errs := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plan := encodePlan(t, int64(i%3+1), 4)
+			resp, err := http.Post(srv.URL+"/schedule", "application/json", bytes.NewReader(plan))
+			if err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = resp.Status
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("client %d: %s", i, e)
+		}
+	}
+	if n := met.Snapshot().Counters["serve.requests"]; n != clients {
+		t.Fatalf("serve.requests = %d, want %d", n, clients)
+	}
+}
+
+func TestScheduleEndpointRejectsBadInput(t *testing.T) {
+	h, _ := newTestHandler(t, testOptions())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", strings.NewReader("{")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed plan: status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/schedule", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", rec.Code)
+	}
+}
+
+func TestScheduleEndpointShedsWith503(t *testing.T) {
+	o := testOptions()
+	o.maxInFlight = 1
+	o.maxQueue = -1
+	o.batchWindow = 200 * time.Millisecond
+	h, _ := newTestHandler(t, o)
+
+	plan := encodePlan(t, 9, 4)
+	done := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(plan)))
+		done <- rec.Code
+	}()
+	time.Sleep(30 * time.Millisecond) // first request holds the only slot
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(plan)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed request: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("first request: status %d", code)
+	}
+}
+
+func TestHealthzReportsCounts(t *testing.T) {
+	h, _ := newTestHandler(t, testOptions())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var decoded struct {
+		Status   string `json:"status"`
+		InFlight int    `json:"inflight"`
+		Queued   int    `json:"queued"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid healthz JSON: %v", err)
+	}
+	if decoded.Status != "ok" || decoded.InFlight != 0 || decoded.Queued != 0 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+}
+
+func TestMetriczExposesServiceCounters(t *testing.T) {
+	h, _ := newTestHandler(t, testOptions())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule",
+		bytes.NewReader(encodePlan(t, 3, 4))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schedule: status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metricz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metricz: status %d", rec.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid metricz JSON: %v", err)
+	}
+	if snap.Counters["serve.requests"] != 1 || snap.Counters["serve.batches"] != 1 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+}
+
+func TestNewServiceRejectsBadConfig(t *testing.T) {
+	if _, err := newService(options{sites: 8, eps: 2.0, f: 0.7}, nil); err == nil {
+		t.Error("ε = 2 accepted")
+	}
+	if _, err := newService(options{sites: 0, eps: 0.5, f: 0.7}, nil); err == nil {
+		t.Error("P = 0 accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"mdrs/internal/plan"
+)
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	p := join(leaf("A", 2000), leaf("B", 500))
+	ds := MustGenerate(p, 3)
+	s := scheduleFor(t, p, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallel := range []bool{false, true} {
+		if _, err := testEngine(parallel).RunCtx(ctx, ds, s); !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%v: got %v, want context.Canceled", parallel, err)
+		}
+	}
+}
+
+// TestRunCtxMidRunCancellation cancels the context from inside a clone
+// body (via the failClone hook, which runs just after the ctx check):
+// the very next clone must observe the cancellation and abort the run.
+func TestRunCtxMidRunCancellation(t *testing.T) {
+	p := join(join(leaf("A", 3000), leaf("B", 1200)), leaf("C", 900))
+	ds := MustGenerate(p, 7)
+	s := scheduleFor(t, p, 8)
+	for _, parallel := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		e := testEngine(parallel)
+		var fired atomic.Bool
+		e.failClone = func(op *plan.Operator, k int) error {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+			return nil
+		}
+		_, err := e.RunCtx(ctx, ds, s)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%v: got %v, want context.Canceled", parallel, err)
+		}
+		if !fired.Load() {
+			t.Fatalf("parallel=%v: hook never ran", parallel)
+		}
+	}
+}
+
+func TestRunCtxCompletedMatchesRun(t *testing.T) {
+	p := join(leaf("A", 2000), leaf("B", 500))
+	ds := MustGenerate(p, 3)
+	s := scheduleFor(t, p, 8)
+	e := testEngine(false)
+	plain, err := e.Run(ds, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := e.RunCtx(context.Background(), ds, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ResultTuples != withCtx.ResultTuples || plain.Measured != withCtx.Measured {
+		t.Fatalf("live context changed the run: %+v vs %+v", plain, withCtx)
+	}
+}

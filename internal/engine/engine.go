@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -33,6 +34,12 @@ type Engine struct {
 	// can inject clone failures into otherwise-infallible arms (the
 	// regression tests for the once-dropped Scan error path).
 	failClone func(op *plan.Operator, clone int) error
+
+	// ctx is the run's cancellation context, set by RunCtx on its local
+	// receiver copy (Engine methods take value receivers, so it never
+	// leaks between runs). Checked by the phase loop and before every
+	// clone body.
+	ctx context.Context
 }
 
 // OpReport breaks one executed operator out of a Report: what the
@@ -103,9 +110,19 @@ func (c *cloneMeter) addNetTuples(tuples int, p costmodel.Params) {
 // been produced for the same plan (the same *query.PlanNode) the dataset
 // was generated from.
 func (e Engine) Run(ds *Dataset, s *sched.Schedule) (*Report, error) {
+	return e.RunCtx(context.Background(), ds, s)
+}
+
+// RunCtx is Run with a cancellation context: the phase loop and every
+// clone body check ctx, so a cancelled or deadline-expired execution
+// stops promptly and returns ctx.Err() (possibly wrapped with the
+// failing operator's name) instead of metering the rest of the plan. A
+// run that completes is identical to Run.
+func (e Engine) RunCtx(ctx context.Context, ds *Dataset, s *sched.Schedule) (*Report, error) {
 	if err := e.Model.Params.Validate(); err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
 	// The schedule carries the operator tree; locate the root (the one
 	// operator with no consumer) and sanity-check coverage.
 	var root *plan.Operator
@@ -134,6 +151,9 @@ func (e Engine) Run(ds *Dataset, s *sched.Schedule) (*Report, error) {
 	tables := make(map[int][]map[int32][]Tuple)
 
 	for phaseIdx, ph := range s.Phases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stop := obs.StartTimer(e.Rec, "engine.phase_seconds")
 		sys := resource.NewSystem(s.P, resource.Dims, e.Overlap)
 		// Producers have smaller IDs than consumers (post-order
@@ -459,12 +479,27 @@ func concat(parts [][]Tuple) []Tuple {
 // not, and a failing clone there masqueraded as a clean run.
 func (e Engine) eachClone(op *plan.Operator, n int, fn func(k int) error) error {
 	run := fn
+	if ctx := e.ctx; ctx != nil {
+		// Cancellation is checked before every clone body, so a run under
+		// an expired context abandons the operator within one clone's
+		// work. The check wraps the user fn (inside failClone/recording)
+		// so serial and parallel runs fail on the same deterministic
+		// lowest clone index.
+		inner := run
+		run = func(k int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return inner(k)
+		}
+	}
 	if e.failClone != nil {
+		inner := run
 		run = func(k int) error {
 			if err := e.failClone(op, k); err != nil {
 				return err
 			}
-			return fn(k)
+			return inner(k)
 		}
 	}
 	if rec := e.Rec; rec != nil {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -23,6 +24,15 @@ import (
 // order is kept); queries with fewer phases simply stop contributing to
 // later global phases.
 func (ts TreeScheduler) ScheduleBatch(trees []*plan.TaskTree) (*Schedule, error) {
+	return ts.ScheduleBatchCtx(context.Background(), trees)
+}
+
+// ScheduleBatchCtx is ScheduleBatch with a cancellation context: the
+// phase loop and the placement loop inside OperatorSchedule check ctx
+// and return ctx.Err() promptly once the context is cancelled or past
+// its deadline. The context never influences a scheduling decision — a
+// run that completes is bit-identical to ScheduleBatch.
+func (ts TreeScheduler) ScheduleBatchCtx(ctx context.Context, trees []*plan.TaskTree) (*Schedule, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -32,6 +42,9 @@ func (ts TreeScheduler) ScheduleBatch(trees []*plan.TaskTree) (*Schedule, error)
 	perTree := make([][][]*plan.Task, len(trees))
 	maxPhases := 0
 	for i, tt := range trees {
+		if tt == nil {
+			return nil, fmt.Errorf("sched: batch query %d: nil task tree", i)
+		}
 		if err := tt.Validate(); err != nil {
 			return nil, fmt.Errorf("sched: batch query %d: %w", i, err)
 		}
@@ -53,11 +66,23 @@ func (ts TreeScheduler) ScheduleBatch(trees []*plan.TaskTree) (*Schedule, error)
 	}
 
 	out := &Schedule{P: ts.P}
-	homes := make(map[*plan.Operator][]int)
+	// Build→probe homes are keyed per batch entry, not per *plan.Operator
+	// alone: the same *plan.TaskTree (or one sharing operator pointers)
+	// may legally appear at several batch positions, and a shared map
+	// would let entry j's build overwrite entry i's home, silently rooting
+	// entry i's probe at entry j's hash-table sites.
+	homes := make([]map[*plan.Operator][]int, len(trees))
+	for i := range homes {
+		homes[i] = make(map[*plan.Operator][]int)
+	}
 	for phaseIdx := 0; phaseIdx < maxPhases; phaseIdx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var ops []*Op
 		var tasks []*plan.Task
 		placements := make(map[int]*OpPlacement)
+		treeOf := make(map[int]int) // offset operator ID -> batch entry
 		for i := range trees {
 			if phaseIdx >= len(perTree[i]) {
 				continue
@@ -65,13 +90,14 @@ func (ts TreeScheduler) ScheduleBatch(trees []*plan.TaskTree) (*Schedule, error)
 			for _, tk := range perTree[i][phaseIdx] {
 				tasks = append(tasks, tk)
 				for _, p := range tk.Ops {
-					op, pl, err := ts.prepare(p, homes)
+					op, pl, err := ts.prepare(p, homes[i])
 					if err != nil {
 						return nil, fmt.Errorf("sched: batch phase %d: %w", phaseIdx, err)
 					}
 					op.ID += offsets[i]
 					ops = append(ops, op)
 					placements[op.ID] = pl
+					treeOf[op.ID] = i
 				}
 			}
 		}
@@ -85,8 +111,11 @@ func (ts TreeScheduler) ScheduleBatch(trees []*plan.TaskTree) (*Schedule, error)
 				Ops: len(ops), Clones: clones,
 			})
 		}
-		res, err := operatorSchedule(ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx)
+		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("sched: batch phase %d: %w", phaseIdx, err)
 		}
 		if ts.Rec != nil {
@@ -98,7 +127,7 @@ func (ts TreeScheduler) ScheduleBatch(trees []*plan.TaskTree) (*Schedule, error)
 		for _, op := range ops {
 			pl := placements[op.ID]
 			pl.Sites = res.Sites[op.ID]
-			homes[pl.Op] = pl.Sites
+			homes[treeOf[op.ID]][pl.Op] = pl.Sites
 			ph.Placements = append(ph.Placements, pl)
 		}
 		out.Phases = append(out.Phases, ph)

@@ -1,8 +1,12 @@
 package sched
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"mdrs/internal/costmodel"
@@ -241,5 +245,119 @@ func BenchmarkScheduleBatch4Queries(b *testing.B) {
 		if _, err := ts.ScheduleBatch(trees); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestScheduleBatchAliasedTrees is the regression test for the shared
+// homes map: the same *plan.TaskTree submitted at two batch positions
+// used to cross-contaminate build→probe home placements (entry 1's
+// build overwrote entry 0's home under the same *plan.Operator key),
+// silently rooting entry 0's probes at entry 1's hash-table sites. The
+// aliased batch must be byte-identical to the same workload built from
+// two structurally-equal but distinct trees.
+func TestScheduleBatchAliasedTrees(t *testing.T) {
+	ts := testScheduler(16, 0.5, 0.7)
+	aliased := batchTrees(t, 19)
+	aliasedBatch, err := ts.ScheduleBatch([]*plan.TaskTree{aliased[0], aliased[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := batchTrees(t, 19, 19)
+	distinctBatch, err := ts.ScheduleBatch(distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EncodeJSON(aliasedBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeJSON(distinctBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("aliased batch differs from the same workload with distinct trees")
+	}
+}
+
+func TestScheduleBatchRejectsNilAndEmptyTrees(t *testing.T) {
+	ts := testScheduler(8, 0.5, 0.7)
+	trees := batchTrees(t, 23)
+	if _, err := ts.ScheduleBatch([]*plan.TaskTree{trees[0], nil}); err == nil ||
+		!strings.Contains(err.Error(), "query 1") {
+		t.Errorf("nil tree in batch: err = %v, want a query-1 error", err)
+	}
+	if _, err := ts.ScheduleBatch([]*plan.TaskTree{trees[0], {}}); err == nil ||
+		!strings.Contains(err.Error(), "query 1") {
+		t.Errorf("zero-task tree in batch: err = %v, want a query-1 error", err)
+	}
+}
+
+func TestScheduleBatchHeterogeneousPhaseCounts(t *testing.T) {
+	ts := testScheduler(16, 0.5, 0.7)
+	short := batchTrees(t, 25)[0] // 8 joins
+	r := rand.New(rand.NewSource(26))
+	tall := plan.MustNewTaskTree(plan.MustExpand(query.MustRandom(r, query.DefaultGenConfig(14))))
+	if short.Height >= tall.Height {
+		t.Fatalf("want heterogeneous heights, got %d and %d", short.Height, tall.Height)
+	}
+	batch, err := ts.ScheduleBatch([]*plan.TaskTree{short, tall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Phases) != tall.Height+1 {
+		t.Fatalf("batch phases = %d, want the taller tree's %d", len(batch.Phases), tall.Height+1)
+	}
+	// The shorter query stops contributing once its own phases run out:
+	// the final phases hold only the taller tree's operators.
+	shortOps := map[*plan.Operator]bool{}
+	for _, tk := range short.Tasks {
+		for _, op := range tk.Ops {
+			shortOps[op] = true
+		}
+	}
+	last := batch.Phases[len(batch.Phases)-1]
+	if len(last.Placements) == 0 {
+		t.Fatal("final phase is empty")
+	}
+	for _, pl := range last.Placements {
+		if shortOps[pl.Op] {
+			t.Fatalf("short query's %s leaked into phase %d past its height %d",
+				pl.Op.Name, last.Index, short.Height)
+		}
+	}
+}
+
+func TestScheduleBatchCtxCancelled(t *testing.T) {
+	ts := testScheduler(8, 0.5, 0.7)
+	trees := batchTrees(t, 27, 28)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ts.ScheduleBatchCtx(ctx, trees); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestScheduleCtxCancelled(t *testing.T) {
+	ts := testScheduler(8, 0.5, 0.7)
+	tree := batchTrees(t, 29)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ts.ScheduleCtx(ctx, tree); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// A context that stays live never changes the outcome.
+	plain, err := ts.Schedule(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := ts.ScheduleCtx(context.Background(), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := EncodeJSON(withCtx)
+	want, _ := EncodeJSON(plain)
+	if !bytes.Equal(got, want) {
+		t.Fatal("a live context changed the schedule")
 	}
 }

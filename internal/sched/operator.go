@@ -18,6 +18,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -99,7 +100,18 @@ type Result struct {
 // (e.g. min{N_max(op, f), P} via the cost model); rooted operators carry
 // their fixed homes.
 func OperatorSchedule(p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
-	return operatorSchedule(p, d, ov, ops, true, nil, 0)
+	return operatorSchedule(context.Background(), p, d, ov, ops, true, nil, 0)
+}
+
+// OperatorScheduleCtx is OperatorSchedule with a cancellation context:
+// the placement loop checks ctx periodically and returns ctx.Err() as
+// soon as the context is cancelled or its deadline passes, so a caller
+// serving many concurrent requests never burns scheduler time on a
+// query nobody is waiting for. The context never influences the
+// packing: a run that completes returns exactly the OperatorSchedule
+// result.
+func OperatorScheduleCtx(ctx context.Context, p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
+	return operatorSchedule(ctx, p, d, ov, ops, true, nil, 0)
 }
 
 // OperatorScheduleObserved is OperatorSchedule with a recorder attached:
@@ -109,7 +121,7 @@ func OperatorSchedule(p, d int, ov resource.Overlap, ops []*Op) (*Result, error)
 // influences a placement.
 func OperatorScheduleObserved(p, d int, ov resource.Overlap, ops []*Op,
 	rec obs.Recorder, phase int) (*Result, error) {
-	return operatorSchedule(p, d, ov, ops, true, rec, phase)
+	return operatorSchedule(context.Background(), p, d, ov, ops, true, rec, phase)
 }
 
 // OperatorScheduleUnordered applies the same packing rule but feeds the
@@ -117,11 +129,20 @@ func OperatorScheduleObserved(p, d int, ov resource.Overlap, ops []*Op,
 // for the list-order ablation; the Theorem 5.1 bound is proved for the
 // sorted order only.
 func OperatorScheduleUnordered(p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
-	return operatorSchedule(p, d, ov, ops, false, nil, 0)
+	return operatorSchedule(context.Background(), p, d, ov, ops, false, nil, 0)
 }
 
-func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool,
+// ctxCheckStride bounds how many clone placements run between two
+// context checks in the step-3 loop: frequent enough that cancellation
+// lands within a few microseconds of work, rare enough that the check
+// is invisible next to a placement's prefix walk.
+const ctxCheckStride = 64
+
+func operatorSchedule(ctx context.Context, p, d int, ov resource.Overlap, ops []*Op, sorted bool,
 	rec obs.Recorder, phase int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p <= 0 {
 		return nil, fmt.Errorf("sched: non-positive site count %d", p)
 	}
@@ -223,7 +244,12 @@ func operatorSchedule(p, d int, ov resource.Overlap, ops []*Op, sorted bool,
 	// a short prefix walk plus an ordered re-insertion instead of a full
 	// O(P·d) rescan per clone.
 	ix := newSiteIndex(sys)
-	for _, it := range list {
+	for i, it := range list {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		bans := used[it.op.ID]
 		var best int
 		if rec == nil {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"mdrs/internal/costmodel"
@@ -108,6 +109,16 @@ func (s *Schedule) Placement(op *plan.Operator) *OpPlacement {
 // schedule each phase's operators with OperatorSchedule, carrying the
 // build→probe home constraint across phases (Section 5.5).
 func (ts TreeScheduler) Schedule(tt *plan.TaskTree) (*Schedule, error) {
+	return ts.ScheduleCtx(context.Background(), tt)
+}
+
+// ScheduleCtx is Schedule with a cancellation context: the phase loop
+// and the placement loop inside OperatorSchedule check ctx and return
+// ctx.Err() promptly once the context is cancelled or past its
+// deadline, instead of finishing a schedule nobody is waiting for. The
+// context never influences a scheduling decision — a run that completes
+// is bit-identical to Schedule.
+func (ts TreeScheduler) ScheduleCtx(ctx context.Context, tt *plan.TaskTree) (*Schedule, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,6 +131,9 @@ func (ts TreeScheduler) Schedule(tt *plan.TaskTree) (*Schedule, error) {
 	homes := make(map[*plan.Operator][]int)
 
 	for phaseIdx, tasks := range tt.PhasesBy(ts.Policy) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var ops []*Op
 		placements := make(map[int]*OpPlacement)
 		for _, tk := range tasks {
@@ -144,9 +158,12 @@ func (ts TreeScheduler) Schedule(tt *plan.TaskTree) (*Schedule, error) {
 			})
 		}
 		stop := obs.StartTimer(ts.Rec, "sched.phase_seconds")
-		res, err := operatorSchedule(ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx)
+		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx)
 		stop()
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("sched: phase %d: %w", phaseIdx, err)
 		}
 		if ts.Rec != nil {

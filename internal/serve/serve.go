@@ -1,0 +1,521 @@
+// Package serve is the concurrent multi-query scheduling service: the
+// layer between many callers racing to schedule plans and the single
+// TreeScheduler.ScheduleBatch workload interface underneath.
+//
+// Three mechanisms make the paper's one-query-at-a-time scheduler
+// production-shaped:
+//
+//   - Admission control. At most MaxInFlight requests are being
+//     scheduled at any instant (a semaphore), at most MaxQueue more may
+//     wait for a slot, and everything beyond that is shed immediately
+//     with the typed ErrOverloaded — the service never queues
+//     unboundedly, so a traffic spike degrades into fast rejections
+//     instead of collapsing latency for everyone.
+//
+//   - Window batching. Admitted requests that arrive within BatchWindow
+//     of each other (up to MaxBatch) are grouped into one ScheduleBatch
+//     workload, so concurrent queries time-share sites exactly like
+//     independent operators of one query — the inter-query
+//     resource-sharing argument of the batch scheduler, applied to live
+//     traffic.
+//
+//   - Cancellation and deadline-aware degradation. Every request
+//     carries a context.Context. A request cancelled while waiting (for
+//     admission, in the batching window, or mid-schedule) returns
+//     ctx.Err() promptly; the scheduler itself is context-aware, so a
+//     group whose every member has gone stops burning scheduler time. A
+//     request whose deadline is too close to afford the batching window
+//     degrades gracefully: it skips the window and is scheduled solo.
+//
+// The service is strictly a coordinator: scheduling decisions are made
+// by the embedded TreeScheduler, and every result is bit-identical to a
+// direct ScheduleBatch call on the same group of trees (pinned by the
+// race tests).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdrs/internal/obs"
+	"mdrs/internal/plan"
+	"mdrs/internal/sched"
+)
+
+// Typed service errors, for errors.Is dispatch (HTTP handlers map
+// ErrOverloaded to 503, the facade re-exports both).
+var (
+	// ErrOverloaded is returned when both the in-flight semaphore and
+	// the bounded wait queue are full: the request is shed immediately
+	// instead of queueing unboundedly.
+	ErrOverloaded = errors.New("serve: overloaded: in-flight limit and wait queue full")
+	// ErrClosed is returned for requests submitted to (or stranded in) a
+	// service that has been Closed.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// Config configures a Service. The zero value of every tuning knob
+// picks a sensible default (see each field); Scheduler is mandatory.
+type Config struct {
+	// Scheduler produces every schedule. Its Rec recorder (if any) sees
+	// the usual decision trace; the service's own counters go to Rec
+	// below.
+	Scheduler sched.TreeScheduler
+
+	// MaxInFlight bounds the number of admitted requests being batched
+	// or scheduled at once — the admission semaphore. Default:
+	// GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for an in-flight slot.
+	// Default (0): 4×MaxInFlight. Negative: no wait queue at all — a
+	// full semaphore sheds immediately.
+	MaxQueue int
+	// BatchWindow is how long the first request of a group waits for
+	// companions before the group is scheduled. Default (0): 2ms.
+	// Negative: purely opportunistic batching — a group still absorbs
+	// every request already pending when it forms, but never waits for
+	// more.
+	BatchWindow time.Duration
+	// MaxBatch caps the queries per ScheduleBatch workload. Default: 8.
+	MaxBatch int
+	// SoloMargin is the deadline-aware degradation threshold: a request
+	// whose context deadline is nearer than this skips the batching
+	// window and is scheduled solo, trading sharing for latency.
+	// Default: 4×BatchWindow.
+	SoloMargin time.Duration
+
+	// Rec, when non-nil, receives the service's counters and histograms:
+	// serve.requests / serve.rejected / serve.cancelled counters,
+	// serve.queue_depth and serve.inflight gauges (sampled as histogram
+	// observations), serve.batch_size per dispatched group, and
+	// serve.request_seconds per finished request. Nil disables all
+	// recording.
+	Rec obs.Recorder
+}
+
+// withDefaults resolves the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 4 * c.MaxInFlight
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	switch {
+	case c.BatchWindow == 0:
+		c.BatchWindow = 2 * time.Millisecond
+	case c.BatchWindow < 0:
+		c.BatchWindow = 0
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.SoloMargin <= 0 {
+		c.SoloMargin = 4 * c.BatchWindow
+	}
+	return c
+}
+
+// Result is one request's outcome: the schedule of the group the
+// request was batched into, plus where in that group its tree sits.
+type Result struct {
+	// Schedule is the combined batch schedule: phase i of every group
+	// member executes in global phase i. A group of one is exactly the
+	// tree's own TreeSchedule.
+	Schedule *sched.Schedule
+	// Group lists the task trees scheduled together, in batch order —
+	// the exact argument a direct ScheduleBatch call would reproduce
+	// this Schedule from.
+	Group []*plan.TaskTree
+	// Index is the position of this request's tree within Group.
+	Index int
+	// Solo marks a request that skipped the batching window because its
+	// deadline was nearer than Config.SoloMargin (deadline-aware
+	// degradation). Solo results always have len(Group) == 1.
+	Solo bool
+	// Wait is the time the request spent in the service, admission to
+	// delivery.
+	Wait time.Duration
+}
+
+// request is one in-flight unit: a tree, its caller's context, and the
+// channel its response is delivered on.
+type request struct {
+	ctx   context.Context
+	tree  *plan.TaskTree
+	resCh chan response // buffered(1); exactly one deliver per request
+	start time.Time
+	solo  bool
+}
+
+type response struct {
+	res *Result
+	err error
+}
+
+// Service is the concurrent scheduling service. Construct with New;
+// the zero value is not usable.
+type Service struct {
+	cfg Config
+
+	sem     chan struct{} // in-flight tokens, cap MaxInFlight
+	waiters chan struct{} // wait-queue slots, cap MaxQueue
+	pending chan *request // admitted requests awaiting batching
+	done    chan struct{} // closed by Close
+
+	mu      sync.Mutex // guards closed and the workers Add-vs-Wait race
+	closed  bool
+	workers sync.WaitGroup // collector + group runners
+
+	inflight atomic.Int64 // admitted and not yet delivered
+	queued   atomic.Int64 // waiting for an in-flight slot
+}
+
+// New validates the configuration and starts the batching collector.
+// Callers must Close the service to release it.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Scheduler.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Service{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		waiters: make(chan struct{}, cfg.MaxQueue),
+		pending: make(chan *request, cfg.MaxInFlight),
+		done:    make(chan struct{}),
+	}
+	s.workers.Add(1)
+	go s.collect()
+	return s, nil
+}
+
+// Close stops accepting requests and waits for the collector and every
+// running group to finish. Requests already admitted (holding an
+// in-flight token) are still scheduled — Close drains, it does not
+// drop — while requests waiting for admission fail with ErrClosed.
+// Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.workers.Wait()
+	return nil
+}
+
+// InFlight reports the number of admitted requests not yet delivered.
+func (s *Service) InFlight() int { return int(s.inflight.Load()) }
+
+// Queued reports the number of requests waiting for an in-flight slot.
+func (s *Service) Queued() int { return int(s.queued.Load()) }
+
+// Schedule submits one task tree and blocks until its group is
+// scheduled, the context is cancelled (returning ctx.Err()), or the
+// service sheds it (ErrOverloaded) or closes (ErrClosed). Safe for
+// arbitrary concurrent use.
+func (s *Service) Schedule(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
+	rec := s.cfg.Rec
+	obs.Count(rec, "serve.requests", 1)
+	if tree == nil {
+		return nil, fmt.Errorf("serve: nil task tree")
+	}
+	// Reject malformed trees at the door: inside a group a bad tree
+	// would fail the whole ScheduleBatch call and take its innocent
+	// batch-mates down with it.
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		obs.Count(rec, "serve.cancelled", 1)
+		return nil, err
+	}
+
+	// Admission: an in-flight token immediately, else a bounded wait,
+	// else shed.
+	select {
+	case <-s.done:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.waiters <- struct{}{}:
+			n := s.queued.Add(1)
+			obs.Observe(rec, "serve.queue_depth", float64(n))
+			admitted := false
+			select {
+			case s.sem <- struct{}{}:
+				admitted = true
+			case <-ctx.Done():
+			case <-s.done:
+			}
+			s.queued.Add(-1)
+			<-s.waiters
+			if !admitted {
+				if err := ctx.Err(); err != nil {
+					obs.Count(rec, "serve.cancelled", 1)
+					return nil, err
+				}
+				return nil, ErrClosed
+			}
+		default:
+			obs.Count(rec, "serve.rejected", 1)
+			return nil, ErrOverloaded
+		}
+	}
+
+	r := &request{
+		ctx:   ctx,
+		tree:  tree,
+		resCh: make(chan response, 1),
+		start: time.Now(),
+	}
+	obs.Observe(rec, "serve.inflight", float64(s.inflight.Add(1)))
+
+	// Deadline-aware degradation: a request that cannot afford the
+	// batching window goes solo, straight past the collector.
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.cfg.SoloMargin {
+		r.solo = true
+		obs.Count(rec, "serve.solo_deadline", 1)
+		if !s.spawnGroup([]*request{r}) {
+			// The service is closing but this request is already
+			// admitted; finish it inline rather than dropping it.
+			s.runGroup([]*request{r})
+		}
+	} else {
+		// Enqueue under the closed-flag lock: after Close flips the flag
+		// nothing new enters pending, so the collector's shutdown drain
+		// observes every admitted request. The send cannot block — each
+		// pending entry holds a distinct in-flight token and the channel
+		// has room for all MaxInFlight of them.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.release(r)
+			return nil, ErrClosed
+		}
+		s.pending <- r
+		s.mu.Unlock()
+	}
+
+	// The response channel is buffered and written exactly once, so an
+	// early ctx return never blocks the group runner; the runner still
+	// releases the request's token when the group completes.
+	select {
+	case resp := <-r.resCh:
+		if resp.err != nil {
+			if errors.Is(resp.err, context.Canceled) || errors.Is(resp.err, context.DeadlineExceeded) {
+				obs.Count(rec, "serve.cancelled", 1)
+			}
+			return nil, resp.err
+		}
+		return resp.res, nil
+	case <-ctx.Done():
+		obs.Count(rec, "serve.cancelled", 1)
+		return nil, ctx.Err()
+	}
+}
+
+// collect is the batching loop: take the first pending request, hold
+// the window open for companions (bounded by MaxBatch), dispatch the
+// group, repeat. Exactly one collector runs per service.
+func (s *Service) collect() {
+	defer s.workers.Done()
+	for {
+		var first *request
+		select {
+		case first = <-s.pending:
+		case <-s.done:
+			s.drainPending()
+			return
+		}
+		group := []*request{first}
+		if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
+			timer := time.NewTimer(s.cfg.BatchWindow)
+		window:
+			for len(group) < s.cfg.MaxBatch {
+				select {
+				case r := <-s.pending:
+					group = append(group, r)
+				case <-timer.C:
+					break window
+				case <-s.done:
+					break window
+				}
+			}
+			timer.Stop()
+		} else {
+			// Opportunistic batching: absorb whatever is already pending
+			// without waiting.
+		drain:
+			for len(group) < s.cfg.MaxBatch {
+				select {
+				case r := <-s.pending:
+					group = append(group, r)
+				default:
+					break drain
+				}
+			}
+		}
+		if !s.spawnGroup(group) {
+			// Shutdown interrupted the window; the group members are
+			// admitted, so schedule them inline (the collector itself is
+			// tracked by the WaitGroup Close waits on), then drain.
+			s.runGroup(group)
+			s.drainPending()
+			return
+		}
+	}
+}
+
+// drainPending schedules every request still sitting in the pending
+// channel at shutdown — they were admitted before Close, so they are
+// drained gracefully, in groups of up to MaxBatch.
+func (s *Service) drainPending() {
+	var group []*request
+	for {
+		select {
+		case r := <-s.pending:
+			group = append(group, r)
+			if len(group) == s.cfg.MaxBatch {
+				s.runGroup(group)
+				group = nil
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if len(group) > 0 {
+		s.runGroup(group)
+	}
+}
+
+// spawnGroup starts a runner goroutine for the group, registered with
+// the service's WaitGroup under the closed-flag lock so Close never
+// races Add against Wait. Reports false when the service is closed.
+func (s *Service) spawnGroup(group []*request) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.workers.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.workers.Done()
+		s.runGroup(group)
+	}()
+	return true
+}
+
+// runGroup schedules one group: drop members already cancelled, derive
+// a group context that dies only when every member has, run
+// ScheduleBatch, and deliver.
+func (s *Service) runGroup(group []*request) {
+	live := make([]*request, 0, len(group))
+	for _, r := range group {
+		if err := r.ctx.Err(); err != nil {
+			s.deliver(r, response{err: err})
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	trees := make([]*plan.TaskTree, len(live))
+	for i, r := range live {
+		trees[i] = r.tree
+	}
+	obs.Count(s.cfg.Rec, "serve.batches", 1)
+	obs.Observe(s.cfg.Rec, "serve.batch_size", float64(len(trees)))
+
+	gctx, cancel := groupContext(live)
+	defer cancel()
+	stop := obs.StartTimer(s.cfg.Rec, "serve.schedule_seconds")
+	schedule, err := s.cfg.Scheduler.ScheduleBatchCtx(gctx, trees)
+	stop()
+
+	for i, r := range live {
+		switch {
+		case err == nil:
+			s.deliver(r, response{res: &Result{
+				Schedule: schedule,
+				Group:    trees,
+				Index:    i,
+				Solo:     r.solo,
+				Wait:     time.Since(r.start),
+			}})
+		case r.ctx.Err() != nil:
+			// The group died because this member (and the others) left;
+			// report the member's own cancellation, not the group's.
+			s.deliver(r, response{err: r.ctx.Err()})
+		default:
+			s.deliver(r, response{err: err})
+		}
+	}
+}
+
+// groupContext returns a context cancelled once every member's context
+// is done — one abandoned rider never cancels the shared ride, but a
+// fully-abandoned group stops burning scheduler time. A group of one
+// simply follows its only member. The returned cancel must be called
+// when the group's work ends; it also reaps the watcher goroutines.
+func groupContext(group []*request) (context.Context, context.CancelFunc) {
+	if len(group) == 1 {
+		return context.WithCancel(group[0].ctx)
+	}
+	var remaining atomic.Int64
+	for _, r := range group {
+		if r.ctx.Done() == nil {
+			// A member that can never be cancelled keeps the group alive
+			// forever; no watchers needed.
+			return context.WithCancel(context.Background())
+		}
+		remaining.Add(1)
+	}
+	gctx, cancel := context.WithCancel(context.Background())
+	for _, r := range group {
+		go func(done <-chan struct{}) {
+			select {
+			case <-done:
+				if remaining.Add(-1) == 0 {
+					cancel()
+				}
+			case <-gctx.Done():
+			}
+		}(r.ctx.Done())
+	}
+	return gctx, cancel
+}
+
+// deliver hands the response to the waiting Schedule call (non-blocking:
+// the channel is buffered and written exactly once) and releases the
+// request's in-flight token.
+func (s *Service) deliver(r *request, resp response) {
+	r.resCh <- resp
+	obs.Observe(s.cfg.Rec, "serve.request_seconds", time.Since(r.start).Seconds())
+	s.release(r)
+}
+
+// release returns the request's admission token.
+func (s *Service) release(*request) {
+	s.inflight.Add(-1)
+	<-s.sem
+}

@@ -1,6 +1,7 @@
 package mdrs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"mdrs/internal/query"
 	"mdrs/internal/resource"
 	"mdrs/internal/sched"
+	"mdrs/internal/serve"
 	"mdrs/internal/sim"
 	"mdrs/internal/vector"
 )
@@ -135,6 +137,22 @@ type (
 	TraceCapture = obs.Capture
 	// PlaceKey identifies one clone placement in a replayed trace.
 	PlaceKey = obs.PlaceKey
+	// SchedulingService is the concurrent multi-query scheduling service:
+	// admission control, window batching, and deadline-aware degradation
+	// over ScheduleBatch.
+	SchedulingService = serve.Service
+	// ServeConfig configures a SchedulingService.
+	ServeConfig = serve.Config
+	// ServeResult is one request's outcome from a SchedulingService.
+	ServeResult = serve.Result
+)
+
+// Typed scheduling-service errors, for errors.Is dispatch.
+var (
+	// ErrOverloaded reports a request shed by admission control.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrServiceClosed reports a request submitted to a closed service.
+	ErrServiceClosed = serve.ErrClosed
 )
 
 // Plan shapes.
@@ -253,6 +271,13 @@ func (o Options) normalize() (CostModel, Overlap, error) {
 
 // ScheduleQuery runs TreeSchedule on a plan end to end.
 func ScheduleQuery(p *PlanNode, o Options) (*Schedule, error) {
+	return ScheduleQueryCtx(context.Background(), p, o)
+}
+
+// ScheduleQueryCtx is ScheduleQuery with a cancellation context: the
+// scheduler returns ctx.Err() promptly once ctx is cancelled or past
+// its deadline. The context never influences a scheduling decision.
+func ScheduleQueryCtx(ctx context.Context, p *PlanNode, o Options) (*Schedule, error) {
 	m, ov, err := o.normalize()
 	if err != nil {
 		return nil, err
@@ -261,8 +286,13 @@ func ScheduleQuery(p *PlanNode, o Options) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sched.TreeScheduler{Model: m, Overlap: ov, P: o.Sites, F: o.F, Rec: o.Rec}.Schedule(tt)
+	ts := sched.TreeScheduler{Model: m, Overlap: ov, P: o.Sites, F: o.F, Rec: o.Rec}
+	return ts.ScheduleCtx(ctx, tt)
 }
+
+// NewSchedulingService starts a concurrent scheduling service over the
+// given configuration. Callers must Close it to release the service.
+func NewSchedulingService(cfg ServeConfig) (*SchedulingService, error) { return serve.New(cfg) }
 
 // ScheduleQuerySynchronous runs the one-dimensional baseline on a plan
 // end to end.

@@ -1,6 +1,8 @@
 package mdrs_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -185,5 +187,61 @@ func TestTreeScheduleBeatsSynchronousAcrossSweeps(t *testing.T) {
 					sites, eps, sumT, sumS)
 			}
 		}
+	}
+}
+
+// TestSchedulingServiceFacade drives the concurrent scheduling service
+// through the public API: submit a plan's task tree, check the result
+// matches a direct end-to-end schedule, and check the typed errors and
+// the ctx-aware entry point are re-exported.
+func TestSchedulingServiceFacade(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	plan := mdrs.MustRandomPlan(r, mdrs.DefaultGenConfig(6))
+	o := mdrs.Options{Sites: 12, Epsilon: 0.5, F: 0.7}
+
+	ov, err := mdrs.NewOverlap(o.Epsilon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := mdrs.NewSchedulingService(mdrs.ServeConfig{
+		Scheduler: mdrs.TreeScheduler{
+			Model:   mdrs.DefaultCostModel(),
+			Overlap: ov,
+			P:       o.Sites,
+			F:       o.F,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	_, tt, err := mdrs.PrepareQuery(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Schedule(context.Background(), tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := mdrs.ScheduleQuery(plan, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Response != direct.Response {
+		t.Fatalf("served response %g != direct %g", res.Schedule.Response, direct.Response)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mdrs.ScheduleQueryCtx(ctx, plan, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScheduleQueryCtx: got %v, want context.Canceled", err)
+	}
+	if mdrs.ErrOverloaded == nil || mdrs.ErrServiceClosed == nil {
+		t.Fatal("typed service errors not exported")
+	}
+	svc.Close()
+	if _, err := svc.Schedule(context.Background(), tt); !errors.Is(err, mdrs.ErrServiceClosed) {
+		t.Fatalf("closed service: got %v, want ErrServiceClosed", err)
 	}
 }
