@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obs-race serve-race bench bench-placement figures trace-demo
+.PHONY: check build vet test race obs-race serve-race cache-race bench bench-placement bench-cache figures trace-demo
 
-check: build vet race obs-race serve-race
+check: build vet race obs-race serve-race cache-race
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,22 @@ obs-race:
 serve-race:
 	$(GO) test -race -count=1 ./internal/serve ./cmd/mdrs-serve
 
+# The caching layer's correctness gate: the cost-model memo, the plan
+# fingerprint, and the serve-layer schedule cache (LRU + singleflight),
+# fresh under the race detector — the hammer tests race many goroutines
+# over shared caches and assert byte-identical schedules.
+cache-race:
+	$(GO) test -race -count=1 -run 'Cache|Fingerprint' ./internal/costmodel ./internal/sched ./internal/serve ./cmd/mdrs-serve
+
 # Placement micro-benchmark tracked in BENCH_sched.json.
 bench-placement:
 	$(GO) test ./internal/sched -run '^$$' -bench BenchmarkOperatorSchedulePlacement -benchmem
+
+# Regenerate BENCH_cache.json: the schedule cache's warm/cold serve
+# latencies and the placement loop's allocs/op next to the pinned seed
+# baseline.
+bench-cache:
+	$(GO) run ./cmd/mdrs-bench -cache-bench BENCH_cache.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,0 +1,313 @@
+// The -cache-bench mode: measure the schedule cache and the
+// allocation-lean placement loop on a repeated-plan serve workload, and
+// write the numbers as JSON (the BENCH_cache.json format tracked at the
+// repository root). Three sections:
+//
+//   - serve: live cold/warm/uncached per-request latencies through a
+//     serve.Service, demonstrating the warm-vs-cold speedup of the
+//     plan-fingerprint schedule cache.
+//
+//   - tree_schedule: testing.Benchmark of TreeScheduler.Schedule with
+//     and without the cost-model memo, in ns/op and allocs/op.
+//
+//   - placement: testing.Benchmark of the OperatorSchedule placement
+//     loop, next to the seed baseline measured before the
+//     allocation-lean rewrite, so the allocs/op reduction stays on
+//     record across regenerations.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"mdrs"
+)
+
+// placementSeedBaseline pins the BenchmarkOperatorSchedulePlacement
+// numbers measured at the seed commit (before the slice-backed ban
+// sets, the reusable scratch, and the incremental site-index reuse), so
+// regenerated reports keep the before/after comparison. Measured on the
+// same Intel Xeon 2.10GHz container the repository's other BENCH_*.json
+// files come from.
+var placementSeedBaseline = []placementCase{
+	{P: 16, M: 64, NsPerOp: 74238, AllocsPerOp: 334, BytesPerOp: 45536},
+	{P: 100, M: 200, NsPerOp: 695380, AllocsPerOp: 1305, BytesPerOp: 205339},
+	{P: 100, M: 400, NsPerOp: 1362013, AllocsPerOp: 2027, BytesPerOp: 461110},
+	{P: 256, M: 512, NsPerOp: 2506791, AllocsPerOp: 3291, BytesPerOp: 558002},
+	{P: 512, M: 1024, NsPerOp: 8222045, AllocsPerOp: 6543, BytesPerOp: 1149804},
+}
+
+type cacheBenchReport struct {
+	Config       cacheBenchConfig `json:"config"`
+	Serve        serveBench       `json:"serve"`
+	TreeSchedule treeBench        `json:"tree_schedule"`
+	Placement    placementBench   `json:"placement"`
+}
+
+type cacheBenchConfig struct {
+	Sites   int     `json:"sites"`
+	Eps     float64 `json:"eps"`
+	F       float64 `json:"f"`
+	Plans   int     `json:"plans"`
+	Joins   int     `json:"joins"`
+	Repeats int     `json:"repeats"`
+	Seed    int64   `json:"seed"`
+}
+
+type serveBench struct {
+	ColdUsPerReq     float64 `json:"cold_us_per_req"`
+	WarmUsPerReq     float64 `json:"warm_us_per_req"`
+	UncachedUsPerReq float64 `json:"uncached_us_per_req"`
+	WarmVsCold       float64 `json:"warm_speedup_vs_cold"`
+	WarmVsUncached   float64 `json:"warm_speedup_vs_uncached"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+}
+
+type treeBench struct {
+	UncachedNsPerOp     int64 `json:"uncached_ns_per_op"`
+	UncachedAllocsPerOp int64 `json:"uncached_allocs_per_op"`
+	CachedNsPerOp       int64 `json:"cached_ns_per_op"`
+	CachedAllocsPerOp   int64 `json:"cached_allocs_per_op"`
+}
+
+type placementCase struct {
+	P           int   `json:"p"`
+	M           int   `json:"m"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+type placementBench struct {
+	SeedBaseline []placementCase `json:"seed_baseline"`
+	Current      []placementCase `json:"current"`
+}
+
+// runCacheBench measures everything and writes the report to path.
+func runCacheBench(path string, quick bool, seed int64) error {
+	cfg := cacheBenchConfig{
+		Sites: 32, Eps: 0.5, F: 0.7,
+		Plans: 8, Joins: 10, Repeats: 50, Seed: 7,
+	}
+	if quick {
+		cfg.Plans, cfg.Joins, cfg.Repeats = 4, 6, 10
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	report := cacheBenchReport{Config: cfg}
+
+	if err := benchServe(&report); err != nil {
+		return err
+	}
+	if err := benchTreeSchedule(&report); err != nil {
+		return err
+	}
+	benchPlacement(&report, quick)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchTrees builds the repeated-plan workload: Plans distinct trees.
+func benchTrees(cfg cacheBenchConfig) ([]*mdrs.TaskTree, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	trees := make([]*mdrs.TaskTree, cfg.Plans)
+	for i := range trees {
+		p := mdrs.MustRandomPlan(r, mdrs.DefaultGenConfig(cfg.Joins))
+		_, tt, err := mdrs.PrepareQuery(p)
+		if err != nil {
+			return nil, err
+		}
+		trees[i] = tt
+	}
+	return trees, nil
+}
+
+func benchScheduler(cfg cacheBenchConfig) (mdrs.TreeScheduler, error) {
+	ov, err := mdrs.NewOverlap(cfg.Eps)
+	if err != nil {
+		return mdrs.TreeScheduler{}, err
+	}
+	return mdrs.TreeScheduler{
+		Model:   mdrs.DefaultCostModel(),
+		Overlap: ov,
+		P:       cfg.Sites,
+		F:       cfg.F,
+	}, nil
+}
+
+// benchServe measures the live serve workload: every plan once cold,
+// then Repeats warm rounds over the same plans, against both a cached
+// and an uncached service.
+func benchServe(report *cacheBenchReport) error {
+	cfg := report.Config
+	trees, err := benchTrees(cfg)
+	if err != nil {
+		return err
+	}
+	ts, err := benchScheduler(cfg)
+	if err != nil {
+		return err
+	}
+	ts.Cache = mdrs.NewCostCache(ts.Model)
+	met := mdrs.NewMetrics()
+	cached, err := mdrs.NewSchedulingService(mdrs.ServeConfig{
+		Scheduler: ts, CacheSize: cfg.Plans, Rec: met,
+	})
+	if err != nil {
+		return err
+	}
+	defer cached.Close()
+	uncachedTS, err := benchScheduler(cfg)
+	if err != nil {
+		return err
+	}
+	uncached, err := mdrs.NewSchedulingService(mdrs.ServeConfig{Scheduler: uncachedTS})
+	if err != nil {
+		return err
+	}
+	defer uncached.Close()
+
+	ctx := context.Background()
+	run := func(svc *mdrs.SchedulingService, rounds int) (time.Duration, error) {
+		start := time.Now()
+		for round := 0; round < rounds; round++ {
+			for _, tt := range trees {
+				if _, err := svc.Schedule(ctx, tt); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	coldTotal, err := run(cached, 1)
+	if err != nil {
+		return err
+	}
+	warmTotal, err := run(cached, cfg.Repeats)
+	if err != nil {
+		return err
+	}
+	uncachedTotal, err := run(uncached, cfg.Repeats)
+	if err != nil {
+		return err
+	}
+
+	nCold := float64(len(trees))
+	nWarm := float64(len(trees) * cfg.Repeats)
+	s := &report.Serve
+	s.ColdUsPerReq = float64(coldTotal.Microseconds()) / nCold
+	s.WarmUsPerReq = float64(warmTotal.Microseconds()) / nWarm
+	s.UncachedUsPerReq = float64(uncachedTotal.Microseconds()) / nWarm
+	if s.WarmUsPerReq > 0 {
+		s.WarmVsCold = s.ColdUsPerReq / s.WarmUsPerReq
+		s.WarmVsUncached = s.UncachedUsPerReq / s.WarmUsPerReq
+	}
+	snap := met.Snapshot()
+	s.CacheHits = snap.Counters["serve.cache_hits"] + snap.Counters["serve.cache_coalesced"]
+	s.CacheMisses = snap.Counters["serve.cache_misses"]
+	return nil
+}
+
+// benchTreeSchedule compares TreeScheduler.Schedule with and without
+// the cost-model memo over the workload's plans.
+func benchTreeSchedule(report *cacheBenchReport) error {
+	trees, err := benchTrees(report.Config)
+	if err != nil {
+		return err
+	}
+	ts, err := benchScheduler(report.Config)
+	if err != nil {
+		return err
+	}
+	measure := func(ts mdrs.TreeScheduler) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ts.Schedule(trees[i%len(trees)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	cold := measure(ts)
+	ts.Cache = mdrs.NewCostCache(ts.Model)
+	warm := measure(ts)
+	report.TreeSchedule = treeBench{
+		UncachedNsPerOp:     cold.NsPerOp(),
+		UncachedAllocsPerOp: cold.AllocsPerOp(),
+		CachedNsPerOp:       warm.NsPerOp(),
+		CachedAllocsPerOp:   warm.AllocsPerOp(),
+	}
+	return nil
+}
+
+// benchPlacement re-measures the OperatorSchedule placement benchmark
+// cases next to the pinned seed baseline.
+func benchPlacement(report *cacheBenchReport, quick bool) {
+	cases := placementSeedBaseline
+	if quick {
+		cases = cases[:2]
+	}
+	report.Placement.SeedBaseline = cases
+	ov, _ := mdrs.NewOverlap(0.5)
+	for _, c := range cases {
+		// The seed baseline's P=16 case was measured at max degree 4,
+		// the larger cases at 8 — keep the workloads comparable.
+		maxDeg := 8
+		if c.P == 16 {
+			maxDeg = 4
+		}
+		ops := placementOps(int64(c.P*1000+c.M), c.M, maxDeg)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mdrs.OperatorSchedule(c.P, 3, ov, ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Placement.Current = append(report.Placement.Current, placementCase{
+			P: c.P, M: c.M,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+}
+
+// placementOps mirrors the internal placement benchmark's workload: m
+// floating operators with 1..maxDeg clones of random 3-dimensional work.
+func placementOps(seed int64, m, maxDeg int) []*mdrs.SchedOp {
+	r := rand.New(rand.NewSource(seed))
+	ops := make([]*mdrs.SchedOp, m)
+	for i := range ops {
+		n := 1 + r.Intn(maxDeg)
+		clones := make([]mdrs.Vector, n)
+		for j := range clones {
+			clones[j] = mdrs.Vector{r.Float64(), r.Float64(), r.Float64()}
+		}
+		ops[i] = &mdrs.SchedOp{ID: i, Clones: clones}
+	}
+	return ops
+}
+
+// cacheBenchMain is the -cache-bench entry point, split from main for
+// the tests.
+func cacheBenchMain(path string, quick bool, seed int64) {
+	if err := runCacheBench(path, quick, seed); err != nil {
+		fmt.Fprintf(os.Stderr, "mdrs-bench: cache-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

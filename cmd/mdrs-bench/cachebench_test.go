@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -cache-bench report must be valid JSON with every section filled
+// and internally consistent: singleflight accounting covers all warm
+// requests, and the warm path is faster than recomputing.
+func TestRunCacheBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs live benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "bench_cache.json")
+	if err := runCacheBench(path, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report cacheBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid report JSON: %v", err)
+	}
+	if report.Serve.CacheMisses != int64(report.Config.Plans) {
+		t.Fatalf("misses = %d, want %d (one per distinct plan)",
+			report.Serve.CacheMisses, report.Config.Plans)
+	}
+	wantHits := int64(report.Config.Plans * report.Config.Repeats)
+	if report.Serve.CacheHits != wantHits {
+		t.Fatalf("hits = %d, want %d", report.Serve.CacheHits, wantHits)
+	}
+	if report.Serve.WarmVsUncached <= 1 {
+		t.Fatalf("warm speedup vs uncached = %g, want > 1", report.Serve.WarmVsUncached)
+	}
+	if len(report.Placement.Current) != len(report.Placement.SeedBaseline) {
+		t.Fatal("placement sections out of sync")
+	}
+	for i, c := range report.Placement.Current {
+		if c.AllocsPerOp <= 0 || c.NsPerOp <= 0 {
+			t.Fatalf("placement case %d not measured: %+v", i, c)
+		}
+	}
+	if report.TreeSchedule.CachedAllocsPerOp >= report.TreeSchedule.UncachedAllocsPerOp {
+		t.Fatalf("cost cache did not reduce TreeSchedule allocs: cached %d, uncached %d",
+			report.TreeSchedule.CachedAllocsPerOp, report.TreeSchedule.UncachedAllocsPerOp)
+	}
+}

@@ -82,8 +82,14 @@ func main() {
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
 	benchJSON := flag.String("benchjson", "", "write per-figure timings as JSON to this file")
 	metricsJSON := flag.String("metrics", "", "write run counters and timing histograms as JSON to this file")
+	cacheBench := flag.String("cache-bench", "", "measure the schedule cache and placement loop, write JSON to this file, and exit")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
+
+	if *cacheBench != "" {
+		cacheBenchMain(*cacheBench, *quick, *seed)
+		return
+	}
 
 	cfg := experiments.Default()
 	if *quick {

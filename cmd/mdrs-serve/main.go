@@ -16,9 +16,9 @@
 // Endpoints:
 //
 //	POST /schedule  plan JSON in, schedule JSON out. Response headers
-//	                X-Mdrs-Batch-Size, X-Mdrs-Batch-Index, and
-//	                X-Mdrs-Solo describe the grouping. Errors: 400 for
-//	                a bad plan, 503 (with Retry-After) when shed or
+//	                X-Mdrs-Batch-Size, X-Mdrs-Batch-Index, X-Mdrs-Solo,
+//	                and X-Mdrs-Cached describe the grouping. Errors: 400
+//	                for a bad plan, 503 (with Retry-After) when shed or
 //	                shutting down, 504 past the request deadline.
 //	GET  /healthz   liveness plus in-flight and queued counts.
 //	GET  /metricz   service and scheduler metrics snapshot.
@@ -52,6 +52,7 @@ type options struct {
 	maxBatch    int
 	batchWindow time.Duration
 	soloMargin  time.Duration
+	cacheSize   int
 }
 
 func main() {
@@ -65,6 +66,7 @@ func main() {
 	flag.IntVar(&o.maxBatch, "max-batch", 8, "maximum queries per batched workload")
 	flag.DurationVar(&o.batchWindow, "batch-window", 2*time.Millisecond, "how long a group waits for companion queries")
 	flag.DurationVar(&o.soloMargin, "solo-margin", 0, "deadlines nearer than this skip batching (0 = 4x window)")
+	flag.IntVar(&o.cacheSize, "cache", 0, "plan-fingerprint schedule cache size in schedules (0 = disabled)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
@@ -116,18 +118,26 @@ func newService(o options, rec mdrs.Recorder) (*mdrs.SchedulingService, error) {
 	if err != nil {
 		return nil, err
 	}
+	ts := mdrs.TreeScheduler{
+		Model:   mdrs.DefaultCostModel(),
+		Overlap: ov,
+		P:       o.sites,
+		F:       o.f,
+	}
+	if o.cacheSize > 0 {
+		// Caching mode also attaches the cost-model memo: repeated specs
+		// across requests are costed once. Both caches are bit-identical
+		// to the uncached paths, so -cache only changes latency.
+		ts.Cache = mdrs.NewCostCache(ts.Model)
+	}
 	return mdrs.NewSchedulingService(mdrs.ServeConfig{
-		Scheduler: mdrs.TreeScheduler{
-			Model:   mdrs.DefaultCostModel(),
-			Overlap: ov,
-			P:       o.sites,
-			F:       o.f,
-		},
+		Scheduler:   ts,
 		MaxInFlight: o.maxInFlight,
 		MaxQueue:    o.maxQueue,
 		MaxBatch:    o.maxBatch,
 		BatchWindow: o.batchWindow,
 		SoloMargin:  o.soloMargin,
+		CacheSize:   o.cacheSize,
 		Rec:         rec,
 	})
 }
@@ -172,6 +182,7 @@ func newHandler(svc *mdrs.SchedulingService, met *mdrs.Metrics) http.Handler {
 		h.Set("X-Mdrs-Batch-Size", strconv.Itoa(len(res.Group)))
 		h.Set("X-Mdrs-Batch-Index", strconv.Itoa(res.Index))
 		h.Set("X-Mdrs-Solo", strconv.FormatBool(res.Solo))
+		h.Set("X-Mdrs-Cached", strconv.FormatBool(res.Cached))
 		w.Write(data)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

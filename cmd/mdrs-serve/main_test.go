@@ -217,3 +217,61 @@ func TestNewServiceRejectsBadConfig(t *testing.T) {
 		t.Error("P = 0 accepted")
 	}
 }
+
+// With -cache, a repeated plan is answered from the schedule cache:
+// X-Mdrs-Cached flips to true, the body stays byte-identical, and
+// /metricz exposes the serve.cache_* counters.
+func TestScheduleEndpointCacheHeaderAndCounters(t *testing.T) {
+	o := testOptions()
+	o.cacheSize = 8
+	h, _ := newTestHandler(t, o)
+	plan := encodePlan(t, 11, 6)
+
+	var bodies [2]string
+	for round := 0; round < 2; round++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(plan)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, rec.Code, rec.Body)
+		}
+		want := "false"
+		if round == 1 {
+			want = "true"
+		}
+		if got := rec.Header().Get("X-Mdrs-Cached"); got != want {
+			t.Fatalf("round %d: X-Mdrs-Cached = %q, want %q", round, got, want)
+		}
+		bodies[round] = rec.Body.String()
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatal("cached schedule body differs from the computed one")
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metricz", nil))
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid metricz JSON: %v", err)
+	}
+	if snap.Counters["serve.cache_misses"] != 1 || snap.Counters["serve.cache_hits"] != 1 {
+		t.Fatalf("cache counters: %+v", snap.Counters)
+	}
+}
+
+// Without -cache the header reports false and nothing is retained.
+func TestScheduleEndpointCacheDisabledByDefault(t *testing.T) {
+	h, _ := newTestHandler(t, testOptions())
+	plan := encodePlan(t, 11, 6)
+	for round := 0; round < 2; round++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(plan)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("round %d: status %d", round, rec.Code)
+		}
+		if got := rec.Header().Get("X-Mdrs-Cached"); got != "false" {
+			t.Fatalf("round %d: X-Mdrs-Cached = %q, want false (cache off)", round, got)
+		}
+	}
+}

@@ -75,6 +75,8 @@ func (ts TreeScheduler) ScheduleBatchCtx(ctx context.Context, trees []*plan.Task
 	for i := range homes {
 		homes[i] = make(map[*plan.Operator][]int)
 	}
+	// One scratch serves every global phase (see ScheduleCtx).
+	sc := new(scratch)
 	for phaseIdx := 0; phaseIdx < maxPhases; phaseIdx++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -111,7 +113,7 @@ func (ts TreeScheduler) ScheduleBatchCtx(ctx context.Context, trees []*plan.Task
 				Ops: len(ops), Clones: clones,
 			})
 		}
-		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx)
+		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx, sc)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()

@@ -18,9 +18,10 @@
 package sched
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mdrs/internal/obs"
 	"mdrs/internal/resource"
@@ -49,8 +50,11 @@ func (o *Op) Rooted() bool { return o.Home != nil }
 // Degree returns N_i, the operator's degree of partitioned parallelism.
 func (o *Op) Degree() int { return len(o.Clones) }
 
-// validate checks an operator against the system width.
-func (o *Op) validate(p int) error {
+// validate checks an operator against the system width p and
+// dimensionality d. Each clone is walked exactly once (vector validity
+// and dimension together), and home distinctness uses the scratch's
+// generation-marked site slice instead of a per-operator map.
+func (o *Op) validate(p, d int, sc *scratch) error {
 	if len(o.Clones) == 0 {
 		return fmt.Errorf("sched: op %d has no clones", o.ID)
 	}
@@ -62,21 +66,25 @@ func (o *Op) validate(p int) error {
 		if err := w.Validate(); err != nil {
 			return fmt.Errorf("sched: op %d clone %d: %w", o.ID, k, err)
 		}
+		if w.Dim() != d {
+			return fmt.Errorf("sched: op %d clone dimension %d != system dimension %d",
+				o.ID, w.Dim(), d)
+		}
 	}
 	if o.Home != nil {
 		if len(o.Home) != len(o.Clones) {
 			return fmt.Errorf("sched: op %d has %d home sites for %d clones",
 				o.ID, len(o.Home), len(o.Clones))
 		}
-		seen := make(map[int]bool, len(o.Home))
+		gen := sc.nextGen(p)
 		for _, s := range o.Home {
 			if s < 0 || s >= p {
 				return fmt.Errorf("sched: op %d home site %d outside [0, %d)", o.ID, s, p)
 			}
-			if seen[s] {
+			if sc.homeSeen[s] == gen {
 				return fmt.Errorf("sched: op %d has two clones homed at site %d", o.ID, s)
 			}
-			seen[s] = true
+			sc.homeSeen[s] = gen
 		}
 	}
 	return nil
@@ -100,7 +108,7 @@ type Result struct {
 // (e.g. min{N_max(op, f), P} via the cost model); rooted operators carry
 // their fixed homes.
 func OperatorSchedule(p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
-	return operatorSchedule(context.Background(), p, d, ov, ops, true, nil, 0)
+	return operatorSchedule(context.Background(), p, d, ov, ops, true, nil, 0, nil)
 }
 
 // OperatorScheduleCtx is OperatorSchedule with a cancellation context:
@@ -111,7 +119,7 @@ func OperatorSchedule(p, d int, ov resource.Overlap, ops []*Op) (*Result, error)
 // packing: a run that completes returns exactly the OperatorSchedule
 // result.
 func OperatorScheduleCtx(ctx context.Context, p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
-	return operatorSchedule(ctx, p, d, ov, ops, true, nil, 0)
+	return operatorSchedule(ctx, p, d, ov, ops, true, nil, 0, nil)
 }
 
 // OperatorScheduleObserved is OperatorSchedule with a recorder attached:
@@ -121,7 +129,7 @@ func OperatorScheduleCtx(ctx context.Context, p, d int, ov resource.Overlap, ops
 // influences a placement.
 func OperatorScheduleObserved(p, d int, ov resource.Overlap, ops []*Op,
 	rec obs.Recorder, phase int) (*Result, error) {
-	return operatorSchedule(context.Background(), p, d, ov, ops, true, rec, phase)
+	return operatorSchedule(context.Background(), p, d, ov, ops, true, rec, phase, nil)
 }
 
 // OperatorScheduleUnordered applies the same packing rule but feeds the
@@ -129,7 +137,7 @@ func OperatorScheduleObserved(p, d int, ov resource.Overlap, ops []*Op,
 // for the list-order ablation; the Theorem 5.1 bound is proved for the
 // sorted order only.
 func OperatorScheduleUnordered(p, d int, ov resource.Overlap, ops []*Op) (*Result, error) {
-	return operatorSchedule(context.Background(), p, d, ov, ops, false, nil, 0)
+	return operatorSchedule(context.Background(), p, d, ov, ops, false, nil, 0, nil)
 }
 
 // ctxCheckStride bounds how many clone placements run between two
@@ -139,7 +147,7 @@ func OperatorScheduleUnordered(p, d int, ov resource.Overlap, ops []*Op) (*Resul
 const ctxCheckStride = 64
 
 func operatorSchedule(ctx context.Context, p, d int, ov resource.Overlap, ops []*Op, sorted bool,
-	rec obs.Recorder, phase int) (*Result, error) {
+	rec obs.Recorder, phase int, sc *scratch) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -149,20 +157,17 @@ func operatorSchedule(ctx context.Context, p, d int, ov resource.Overlap, ops []
 	if d <= 0 {
 		return nil, fmt.Errorf("sched: non-positive dimensionality %d", d)
 	}
-	ids := make(map[int]bool, len(ops))
+	if sc == nil {
+		sc = new(scratch)
+	}
+	sc.resetIDs(len(ops))
 	for _, op := range ops {
-		if ids[op.ID] {
+		if sc.ids[op.ID] {
 			return nil, fmt.Errorf("sched: duplicate operator ID %d", op.ID)
 		}
-		ids[op.ID] = true
-		if err := op.validate(p); err != nil {
+		sc.ids[op.ID] = true
+		if err := op.validate(p, d, sc); err != nil {
 			return nil, err
-		}
-		for _, w := range op.Clones {
-			if w.Dim() != d {
-				return nil, fmt.Errorf("sched: op %d clone dimension %d != system dimension %d",
-					op.ID, w.Dim(), d)
-			}
 		}
 	}
 
@@ -193,47 +198,56 @@ func operatorSchedule(ctx context.Context, p, d int, ov resource.Overlap, ops []
 
 	// Step 2: the list L of all floating clone vectors in non-increasing
 	// order of l(w̄). Ties break on operator ID then clone index so the
-	// schedule is deterministic.
-	type item struct {
-		op    *Op
-		clone int
-		len   float64
+	// schedule is deterministic. The list and the per-operator ban rows
+	// (sites already holding one of the operator's clones) come from the
+	// scratch: one flattened []bool matrix and one []item slice instead
+	// of a map of maps and an append-grown list. Rooted operators need
+	// no ban row — they contribute no floating clones.
+	floating, total := 0, 0
+	for _, op := range ops {
+		if !op.Rooted() {
+			floating++
+			total += len(op.Clones)
+		}
 	}
-	var list []item
+	bans := sc.banRows(floating, p)
+	list := sc.cloneList(total)
+	row := 0
 	for _, op := range ops {
 		if op.Rooted() {
 			continue
 		}
 		res.Sites[op.ID] = make([]int, len(op.Clones))
+		opBans := bans[row*p : (row+1)*p]
+		row++
 		for k, w := range op.Clones {
-			list = append(list, item{op: op, clone: k, len: w.Length()})
+			list = append(list, item{op: op, clone: k, len: w.Length(), bans: opBans})
 		}
 	}
+	sc.list = list
 	if sorted {
-		sort.Slice(list, func(i, j int) bool {
-			a, b := list[i], list[j]
-			if a.len != b.len {
-				return a.len > b.len
+		// The (len desc, op ID, clone) key is a strict total order —
+		// (op, clone) pairs are unique — so any correct sort produces
+		// the same permutation; SortFunc just does it without the
+		// reflection overhead of sort.Slice.
+		slices.SortFunc(list, func(a, b item) int {
+			switch {
+			case a.len != b.len:
+				if a.len > b.len {
+					return -1
+				}
+				return 1
+			case a.op.ID != b.op.ID:
+				return cmp.Compare(a.op.ID, b.op.ID)
+			default:
+				return cmp.Compare(a.clone, b.clone)
 			}
-			if a.op.ID != b.op.ID {
-				return a.op.ID < b.op.ID
-			}
-			return a.clone < b.clone
 		})
 	}
 
 	// Step 3: place each vector on the least-filled site (by l(work(s)))
 	// holding no other clone of the same operator.
-	used := make(map[int]map[int]bool, len(ops)) // op ID -> sites holding one of its clones
-	for _, op := range ops {
-		m := make(map[int]bool, len(op.Clones))
-		if op.Rooted() {
-			for _, s := range op.Home {
-				m[s] = true
-			}
-		}
-		used[op.ID] = m
-	}
+	//
 	// The least-filled site by l(work(s)), as in Figure 3. Among sites
 	// tied on l (common early on, when several resources are empty),
 	// prefer the smaller total load: any argmin of l satisfies the
@@ -243,20 +257,19 @@ func operatorSchedule(ctx context.Context, p, d int, ov resource.Overlap, ops []
 	// sites ordered by exactly that (l, sum, id) key, so one placement is
 	// a short prefix walk plus an ordered re-insertion instead of a full
 	// O(P·d) rescan per clone.
-	ix := newSiteIndex(sys)
+	ix := sc.ix.reset(sys)
 	for i, it := range list {
 		if i%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		bans := used[it.op.ID]
 		var best int
 		if rec == nil {
-			best = ix.pick(bans)
+			best = ix.pick(it.bans)
 		} else {
 			var skipped int
-			best, skipped = ix.pickSkips(bans)
+			best, skipped = ix.pickSkips(it.bans)
 			if skipped > 0 {
 				rec.Count("sched.ban_hits", int64(skipped))
 				rec.Event(obs.Event{
@@ -278,7 +291,7 @@ func operatorSchedule(ctx context.Context, p, d int, ov resource.Overlap, ops []
 		}
 		sys.Site(best).Assign(it.op.Clones[it.clone])
 		ix.update(sys, best)
-		bans[best] = true
+		it.bans[best] = true
 		res.Sites[it.op.ID][it.clone] = best
 	}
 

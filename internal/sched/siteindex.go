@@ -11,7 +11,7 @@
 package sched
 
 import (
-	"sort"
+	"slices"
 
 	"mdrs/internal/resource"
 )
@@ -48,13 +48,32 @@ type siteIndex struct {
 // newSiteIndex snapshots the system's current loads (rooted operators
 // are already placed when the floating pass starts).
 func newSiteIndex(sys *resource.System) *siteIndex {
+	ix := &siteIndex{}
+	return ix.reset(sys)
+}
+
+// reset rebuilds the index over the system's current loads, reusing the
+// receiver's slices when they are large enough (the scratch path).
+func (ix *siteIndex) reset(sys *resource.System) *siteIndex {
 	p := sys.P()
-	ix := &siteIndex{order: make([]siteKey, p), pos: make([]int, p)}
+	if cap(ix.order) < p {
+		ix.order = make([]siteKey, p)
+		ix.pos = make([]int, p)
+	}
+	ix.order = ix.order[:p]
+	ix.pos = ix.pos[:p]
 	for j := 0; j < p; j++ {
 		s := sys.Site(j)
 		ix.order[j] = siteKey{l: s.LoadLength(), sum: s.LoadSum(), id: j}
 	}
-	sort.Slice(ix.order, func(i, j int) bool { return keyLess(ix.order[i], ix.order[j]) })
+	// Strict total order (ids are distinct), so any correct sort yields
+	// the same permutation.
+	slices.SortFunc(ix.order, func(a, b siteKey) int {
+		if keyLess(a, b) {
+			return -1
+		}
+		return 1
+	})
 	for i, k := range ix.order {
 		ix.pos[k.id] = i
 	}
@@ -62,8 +81,9 @@ func newSiteIndex(sys *resource.System) *siteIndex {
 }
 
 // pick returns the least-key site whose id is not banned, or -1 if the
-// ban set covers every site.
-func (ix *siteIndex) pick(bans map[int]bool) int {
+// ban set covers every site. The ban set is a site-indexed []bool row
+// of the scratch's flattened matrix.
+func (ix *siteIndex) pick(bans []bool) int {
 	for _, k := range ix.order {
 		if !bans[k.id] {
 			return k.id
@@ -76,7 +96,7 @@ func (ix *siteIndex) pick(bans map[int]bool) int {
 // skipped because the ban set held them — the "ban-set hit" count of
 // the decision trace. Kept separate from pick so the untraced hot path
 // does not carry the extra counter.
-func (ix *siteIndex) pickSkips(bans map[int]bool) (site, skipped int) {
+func (ix *siteIndex) pickSkips(bans []bool) (site, skipped int) {
 	for _, k := range ix.order {
 		if bans[k.id] {
 			skipped++
@@ -106,7 +126,7 @@ func (ix *siteIndex) update(sys *resource.System, id int) {
 // pickScan is the reference linear scan over all sites with the same
 // (l, sum, id) ordering. operatorSchedule uses the index; this is kept
 // as the oracle the equivalence tests check the index against.
-func pickScan(sys *resource.System, bans map[int]bool) int {
+func pickScan(sys *resource.System, bans []bool) int {
 	best := -1
 	var bestKey siteKey
 	for j := 0; j < sys.P(); j++ {

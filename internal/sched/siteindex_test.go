@@ -25,7 +25,7 @@ func TestSiteIndexMatchesScan(t *testing.T) {
 		}
 		ix := newSiteIndex(sys)
 		for step := 0; step < 60; step++ {
-			bans := map[int]bool{}
+			bans := make([]bool, p)
 			for n := r.Intn(p); n > 0; n-- {
 				bans[r.Intn(p)] = true
 			}
@@ -54,7 +54,7 @@ func TestSiteIndexMatchesScan(t *testing.T) {
 func TestSiteIndexAllBanned(t *testing.T) {
 	sys := resource.NewSystem(3, 2, resource.MustOverlap(1))
 	ix := newSiteIndex(sys)
-	bans := map[int]bool{0: true, 1: true, 2: true}
+	bans := []bool{true, true, true}
 	if got := ix.pick(bans); got != -1 {
 		t.Fatalf("pick over full ban set = %d, want -1", got)
 	}

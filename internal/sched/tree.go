@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"mdrs/internal/costmodel"
 	"mdrs/internal/obs"
@@ -35,6 +36,14 @@ type TreeScheduler struct {
 	// timers. It never influences a scheduling decision; nil disables
 	// all recording at near-zero cost.
 	Rec obs.Recorder
+	// Cache, when non-nil, memoizes the cost model's derivations (cost
+	// vectors, CG_f degrees, clone vectors) across operators, phases,
+	// trees, and batch entries, so structurally repeated specs are
+	// costed once. It must wrap the same Model (Cache.Model() ==
+	// Model); every cached answer is bit-identical to an uncached one,
+	// pinned by the identity tests. Safe to share across concurrent
+	// scheduling calls.
+	Cache *costmodel.Cache
 }
 
 // Validate reports the first nonsensical configuration field.
@@ -83,6 +92,12 @@ type PhaseSchedule struct {
 // Schedule is a complete parallel schedule for a bushy plan: the
 // synchronized phases and the end-to-end response time (the sum of the
 // phase responses, since phases execute back to back).
+//
+// A completed Schedule is immutable by convention: the engine, the
+// simulators, the renderers, and the serving layer only read it, which
+// is what lets the serve-layer schedule cache hand one *Schedule to
+// many concurrent requests. Callers must not modify a schedule they
+// did not build themselves.
 type Schedule struct {
 	// Phases in execution order.
 	Phases []*PhaseSchedule
@@ -90,18 +105,34 @@ type Schedule struct {
 	Response float64
 	// P is the system size the schedule was produced for.
 	P int
+
+	// placeOnce lazily builds placeIdx the first time Placement is
+	// called; a schedule that is only encoded or executed phase by
+	// phase never pays for the index.
+	placeOnce sync.Once
+	placeIdx  map[*plan.Operator]*OpPlacement
 }
 
-// Placement returns the placement of the given operator, or nil.
+// Placement returns the placement of the given operator, or nil. The
+// first call builds a per-operator index (previously every lookup
+// linearly scanned all phases); the index is built under a sync.Once,
+// so Placement is safe for concurrent use on a shared schedule.
 func (s *Schedule) Placement(op *plan.Operator) *OpPlacement {
-	for _, ph := range s.Phases {
-		for _, pl := range ph.Placements {
-			if pl.Op == op {
-				return pl
+	s.placeOnce.Do(func() {
+		n := 0
+		for _, ph := range s.Phases {
+			n += len(ph.Placements)
+		}
+		s.placeIdx = make(map[*plan.Operator]*OpPlacement, n)
+		for _, ph := range s.Phases {
+			for _, pl := range ph.Placements {
+				if _, ok := s.placeIdx[pl.Op]; !ok {
+					s.placeIdx[pl.Op] = pl
+				}
 			}
 		}
-	}
-	return nil
+	})
+	return s.placeIdx[op]
 }
 
 // Schedule runs TreeSchedule on a task tree: split the plan into
@@ -129,6 +160,9 @@ func (ts TreeScheduler) ScheduleCtx(ctx context.Context, tt *plan.TaskTree) (*Sc
 	out := &Schedule{P: ts.P}
 	// Home of each already-scheduled operator, for rooting probes.
 	homes := make(map[*plan.Operator][]int)
+	// One scratch serves every phase: the placement loop's ban sets,
+	// clone list, and site index are reused instead of reallocated.
+	sc := new(scratch)
 
 	for phaseIdx, tasks := range tt.PhasesBy(ts.Policy) {
 		if err := ctx.Err(); err != nil {
@@ -158,7 +192,7 @@ func (ts TreeScheduler) ScheduleCtx(ctx context.Context, tt *plan.TaskTree) (*Sc
 			})
 		}
 		stop := obs.StartTimer(ts.Rec, "sched.phase_seconds")
-		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx)
+		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx, sc)
 		stop()
 		if err != nil {
 			if ctx.Err() != nil {
@@ -187,10 +221,11 @@ func (ts TreeScheduler) ScheduleCtx(ctx context.Context, tt *plan.TaskTree) (*Sc
 }
 
 // prepare determines an operator's degree of parallelism and clone
-// vectors, and whether it is rooted.
+// vectors, and whether it is rooted. With a Cache attached, every
+// derivation is memoized by the operator's spec, so structurally
+// repeated scans/builds/probes across phases, trees, and batch entries
+// are costed once.
 func (ts TreeScheduler) prepare(p *plan.Operator, homes map[*plan.Operator][]int) (*Op, *OpPlacement, error) {
-	cost := ts.Model.Cost(p.Spec)
-
 	var home []int
 	switch {
 	case p.BuildOp != nil:
@@ -210,20 +245,29 @@ func (ts TreeScheduler) prepare(p *plan.Operator, homes map[*plan.Operator][]int
 	if home != nil {
 		n = len(home)
 	} else {
-		n = ts.Model.Degree(cost, ts.F, ts.P, ts.Overlap)
+		n = ts.degree(p.Spec)
 		if p.Kind == costmodel.Build && p.Consumer != nil {
 			// The probe of this join is forced to run at the build's
 			// home (Section 5.5), so the join's degree must be coarse
 			// grain for the probe as well: cap the build's parallelism
 			// by the probe's own CG_f degree. Otherwise the granularity
 			// condition could never constrain probes at all.
-			probeCost := ts.Model.Cost(p.Consumer.Spec)
-			if pn := ts.Model.Degree(probeCost, ts.F, ts.P, ts.Overlap); pn < n {
+			if pn := ts.degree(p.Consumer.Spec); pn < n {
 				n = pn
 			}
 		}
 	}
-	clones := ts.Model.Clones(cost, n)
+
+	var clones []vector.Vector
+	var tpar float64
+	if ts.Cache != nil {
+		clones = ts.Cache.Clones(p.Spec, n)
+		tpar = ts.Cache.TPar(p.Spec, n, ts.Overlap)
+	} else {
+		cost := ts.Model.Cost(p.Spec)
+		clones = ts.Model.Clones(cost, n)
+		tpar = ts.Model.TPar(cost, n, ts.Overlap)
+	}
 
 	op := &Op{ID: p.ID, Clones: clones, Home: home}
 	pl := &OpPlacement{
@@ -231,7 +275,16 @@ func (ts TreeScheduler) prepare(p *plan.Operator, homes map[*plan.Operator][]int
 		Degree: n,
 		Clones: clones,
 		Rooted: home != nil,
-		TPar:   ts.Model.TPar(cost, n, ts.Overlap),
+		TPar:   tpar,
 	}
 	return op, pl, nil
+}
+
+// degree resolves a floating operator's degree of parallelism through
+// the cache when one is attached.
+func (ts TreeScheduler) degree(spec costmodel.OpSpec) int {
+	if ts.Cache != nil {
+		return ts.Cache.Degree(spec, ts.F, ts.P, ts.Overlap)
+	}
+	return ts.Model.Degree(ts.Model.Cost(spec), ts.F, ts.P, ts.Overlap)
 }

@@ -89,6 +89,18 @@ type Config struct {
 	// Default: 4×BatchWindow.
 	SoloMargin time.Duration
 
+	// CacheSize, when positive, enables the plan-fingerprint schedule
+	// cache: a bounded LRU of up to CacheSize completed schedules keyed
+	// by sched.TreeScheduler.Fingerprint. A repeated plan is answered
+	// from the cache without admission, batching, or scheduling, and N
+	// concurrent requests for the same uncached plan compute it once
+	// (singleflight). Cached requests are scheduled as singleton groups
+	// — never batched — so every cached schedule is deterministic per
+	// fingerprint and byte-identical to TreeSchedule on the same tree.
+	// Default (0): caching disabled, every request takes the batching
+	// path.
+	CacheSize int
+
 	// Rec, when non-nil, receives the service's counters and histograms:
 	// serve.requests / serve.rejected / serve.cancelled counters,
 	// serve.queue_depth and serve.inflight gauges (sampled as histogram
@@ -141,6 +153,11 @@ type Result struct {
 	// deadline was nearer than Config.SoloMargin (deadline-aware
 	// degradation). Solo results always have len(Group) == 1.
 	Solo bool
+	// Cached marks a result served from the schedule cache (an LRU hit
+	// or a singleflight coalescence onto another request's computation).
+	// Cached results always have len(Group) == 1, and Schedule may be
+	// shared with other requests — it is immutable, read-only state.
+	Cached bool
 	// Wait is the time the request spent in the service, admission to
 	// delivery.
 	Wait time.Duration
@@ -170,6 +187,7 @@ type Service struct {
 	waiters chan struct{} // wait-queue slots, cap MaxQueue
 	pending chan *request // admitted requests awaiting batching
 	done    chan struct{} // closed by Close
+	cache   *schedCache   // nil unless Config.CacheSize > 0
 
 	mu      sync.Mutex // guards closed and the workers Add-vs-Wait race
 	closed  bool
@@ -192,6 +210,7 @@ func New(cfg Config) (*Service, error) {
 		waiters: make(chan struct{}, cfg.MaxQueue),
 		pending: make(chan *request, cfg.MaxInFlight),
 		done:    make(chan struct{}),
+		cache:   newSchedCache(cfg.CacheSize),
 	}
 	s.workers.Add(1)
 	go s.collect()
@@ -222,10 +241,19 @@ func (s *Service) InFlight() int { return int(s.inflight.Load()) }
 // Queued reports the number of requests waiting for an in-flight slot.
 func (s *Service) Queued() int { return int(s.queued.Load()) }
 
+// CacheLen reports the number of schedules currently held by the
+// schedule cache; 0 when caching is disabled.
+func (s *Service) CacheLen() int { return s.cache.Len() }
+
 // Schedule submits one task tree and blocks until its group is
 // scheduled, the context is cancelled (returning ctx.Err()), or the
 // service sheds it (ErrOverloaded) or closes (ErrClosed). Safe for
 // arbitrary concurrent use.
+//
+// With Config.CacheSize > 0 a plan already in the schedule cache is
+// answered immediately (Result.Cached), and a miss is scheduled as a
+// singleton group and inserted; without a cache every request takes
+// the batching path.
 func (s *Service) Schedule(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
 	rec := s.cfg.Rec
 	obs.Count(rec, "serve.requests", 1)
@@ -242,41 +270,103 @@ func (s *Service) Schedule(ctx context.Context, tree *plan.TaskTree) (*Result, e
 		obs.Count(rec, "serve.cancelled", 1)
 		return nil, err
 	}
-
-	// Admission: an in-flight token immediately, else a bounded wait,
-	// else shed.
-	select {
-	case <-s.done:
-		return nil, ErrClosed
-	default:
+	if s.cache != nil {
+		return s.scheduleCached(ctx, tree)
 	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		select {
-		case s.waiters <- struct{}{}:
-			n := s.queued.Add(1)
-			obs.Observe(rec, "serve.queue_depth", float64(n))
-			admitted := false
-			select {
-			case s.sem <- struct{}{}:
-				admitted = true
-			case <-ctx.Done():
-			case <-s.done:
-			}
-			s.queued.Add(-1)
-			<-s.waiters
-			if !admitted {
-				if err := ctx.Err(); err != nil {
-					obs.Count(rec, "serve.cancelled", 1)
-					return nil, err
-				}
-				return nil, ErrClosed
-			}
-		default:
-			obs.Count(rec, "serve.rejected", 1)
-			return nil, ErrOverloaded
+	return s.scheduleBatched(ctx, tree)
+}
+
+// scheduleCached is the cache-enabled request path: LRU hit, else join
+// or lead the fingerprint's singleflight. The leader schedules the tree
+// as a singleton group (no batching window — a batched schedule would
+// depend on its accidental window companions, so only the singleton
+// form is deterministic per fingerprint) and fills the cache; followers
+// coalesce onto the leader's computation without consuming admission
+// slots.
+func (s *Service) scheduleCached(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
+	rec := s.cfg.Rec
+	start := time.Now()
+	fp := s.cfg.Scheduler.Fingerprint(tree)
+	for {
+		if e := s.cache.get(fp); e != nil {
+			obs.Count(rec, "serve.cache_hits", 1)
+			return &Result{
+				Schedule: e.s,
+				Group:    []*plan.TaskTree{e.tree},
+				Cached:   true,
+				Wait:     time.Since(start),
+			}, nil
 		}
+		fl, leader := s.cache.flightFor(fp)
+		if leader {
+			obs.Count(rec, "serve.cache_misses", 1)
+			res, err := s.scheduleSingleton(ctx, tree)
+			if err != nil {
+				s.cache.resolve(fp, fl, nil, nil, err)
+				return nil, err
+			}
+			if ev := s.cache.put(fp, res.Schedule, tree); ev > 0 {
+				obs.Count(rec, "serve.cache_evictions", int64(ev))
+			}
+			s.cache.resolve(fp, fl, res.Schedule, tree, nil)
+			return res, nil
+		}
+		// Follower: wait for the leader's outcome without holding any
+		// admission resources.
+		obs.Count(rec, "serve.cache_coalesced", 1)
+		select {
+		case <-fl.done:
+			if fl.err == nil {
+				return &Result{
+					Schedule: fl.s,
+					Group:    []*plan.TaskTree{fl.tree},
+					Cached:   true,
+					Wait:     time.Since(start),
+				}, nil
+			}
+			if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+				// The leader's own context died, which says nothing about
+				// this request; loop and race to become the next leader.
+				continue
+			}
+			// Service-level failures (overload, closed, a scheduling
+			// error for this plan shape) apply to the followers too.
+			return nil, fl.err
+		case <-ctx.Done():
+			obs.Count(rec, "serve.cancelled", 1)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// scheduleSingleton admits one request and schedules it as a group of
+// one, bypassing the collector entirely.
+func (s *Service) scheduleSingleton(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
+	rec := s.cfg.Rec
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	r := &request{
+		ctx:   ctx,
+		tree:  tree,
+		resCh: make(chan response, 1),
+		start: time.Now(),
+	}
+	obs.Observe(rec, "serve.inflight", float64(s.inflight.Add(1)))
+	if !s.spawnGroup([]*request{r}) {
+		// The service is closing but this request is already admitted;
+		// finish it inline rather than dropping it.
+		s.runGroup([]*request{r})
+	}
+	return s.await(ctx, r)
+}
+
+// scheduleBatched is the original request path: admission, then the
+// batching window (or a solo bypass for deadline-pressed requests).
+func (s *Service) scheduleBatched(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
+	rec := s.cfg.Rec
+	if err := s.admit(ctx); err != nil {
+		return nil, err
 	}
 
 	r := &request{
@@ -313,9 +403,55 @@ func (s *Service) Schedule(ctx context.Context, tree *plan.TaskTree) (*Result, e
 		s.mu.Unlock()
 	}
 
-	// The response channel is buffered and written exactly once, so an
-	// early ctx return never blocks the group runner; the runner still
-	// releases the request's token when the group completes.
+	return s.await(ctx, r)
+}
+
+// admit takes one in-flight token: immediately, else through the
+// bounded wait queue, else the request is shed with ErrOverloaded.
+func (s *Service) admit(ctx context.Context) error {
+	rec := s.cfg.Rec
+	select {
+	case <-s.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		select {
+		case s.waiters <- struct{}{}:
+			n := s.queued.Add(1)
+			obs.Observe(rec, "serve.queue_depth", float64(n))
+			admitted := false
+			select {
+			case s.sem <- struct{}{}:
+				admitted = true
+			case <-ctx.Done():
+			case <-s.done:
+			}
+			s.queued.Add(-1)
+			<-s.waiters
+			if !admitted {
+				if err := ctx.Err(); err != nil {
+					obs.Count(rec, "serve.cancelled", 1)
+					return err
+				}
+				return ErrClosed
+			}
+		default:
+			obs.Count(rec, "serve.rejected", 1)
+			return ErrOverloaded
+		}
+	}
+	return nil
+}
+
+// await blocks until the request's response arrives or its context
+// dies. The response channel is buffered and written exactly once, so
+// an early ctx return never blocks the group runner; the runner still
+// releases the request's token when the group completes.
+func (s *Service) await(ctx context.Context, r *request) (*Result, error) {
+	rec := s.cfg.Rec
 	select {
 	case resp := <-r.resCh:
 		if resp.err != nil {

@@ -41,6 +41,11 @@ type (
 	OpSpec = costmodel.OpSpec
 	// OpCost is a costed operator: processing vector plus interconnect bytes.
 	OpCost = costmodel.OpCost
+	// CostCache memoizes a cost model's derivations by operator spec.
+	CostCache = costmodel.Cache
+	// PlanFingerprint digests (scheduler config, task tree); equal
+	// fingerprints imply byte-identical schedules.
+	PlanFingerprint = sched.Fingerprint
 	// Overlap is the resource-overlap model ε of assumption EA2.
 	Overlap = resource.Overlap
 	// System is a set of P identical d-dimensional sites.
@@ -194,6 +199,11 @@ func DefaultCostModel() CostModel { return costmodel.Default() }
 
 // NewCostModel validates params and returns a cost model.
 func NewCostModel(p Params) (CostModel, error) { return costmodel.New(p) }
+
+// NewCostCache wraps a cost model in a memoizing cache, pluggable into
+// TreeScheduler.Cache. Every cached answer is bit-identical to the
+// uncached model's; safe for concurrent use.
+func NewCostCache(m CostModel) *CostCache { return costmodel.NewCache(m) }
 
 // NewOverlap validates ε ∈ [0,1] and returns the overlap model.
 func NewOverlap(eps float64) (Overlap, error) { return resource.NewOverlap(eps) }
