@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obs-race serve-race cache-race bench bench-placement bench-cache figures trace-demo
+.PHONY: check build vet test race obs-race serve-race cache-race par-race bench bench-placement bench-cache bench-parallel figures trace-demo
 
-check: build vet race obs-race serve-race cache-race
+check: build vet race obs-race serve-race cache-race par-race
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ serve-race:
 cache-race:
 	$(GO) test -race -count=1 -run 'Cache|Fingerprint' ./internal/costmodel ./internal/sched ./internal/serve ./cmd/mdrs-serve
 
+# The deterministic-parallelism gate: the Workers knob must produce
+# byte-identical schedules and traces for every pool width, survive
+# mid-placement cancellation, and keep the bounded pools race-free —
+# fresh under the race detector.
+par-race:
+	$(GO) test -race -count=1 -run 'Par|Workers|Sharded|Hammer' ./internal/sched ./internal/sim ./internal/par
+
 # Placement micro-benchmark tracked in BENCH_sched.json.
 bench-placement:
 	$(GO) test ./internal/sched -run '^$$' -bench BenchmarkOperatorSchedulePlacement -benchmem
@@ -49,6 +56,11 @@ bench-placement:
 # baseline.
 bench-cache:
 	$(GO) run ./cmd/mdrs-bench -cache-bench BENCH_cache.json
+
+# Regenerate BENCH_parallel.json: TreeSchedule at Workers=1 vs
+# Workers=N (cold and warm) plus the live workers-invariance verdict.
+bench-parallel:
+	$(GO) run ./cmd/mdrs-bench -par-bench BENCH_parallel.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -83,11 +83,17 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write per-figure timings as JSON to this file")
 	metricsJSON := flag.String("metrics", "", "write run counters and timing histograms as JSON to this file")
 	cacheBench := flag.String("cache-bench", "", "measure the schedule cache and placement loop, write JSON to this file, and exit")
+	parBench := flag.String("par-bench", "", "measure scheduler Workers=1 vs Workers=N and the invariance verdict, write JSON to this file, and exit")
+	schedWorkers := flag.Int("sched-workers", 0, "workers arm for -par-bench (0 = GOMAXPROCS, raised to at least 2)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
 	if *cacheBench != "" {
 		cacheBenchMain(*cacheBench, *quick, *seed)
+		return
+	}
+	if *parBench != "" {
+		parBenchMain(*parBench, *quick, *seed, *schedWorkers)
 		return
 	}
 

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -par-bench report must be valid JSON with every case measured,
+// the live workers-invariance check passing, and the workers arm a real
+// pool (>= 2) even on a single-core host.
+func TestRunParBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs live benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "bench_parallel.json")
+	if err := runParBench(path, true, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report parBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid report JSON: %v", err)
+	}
+	if !report.WorkersInvarianceVerified {
+		t.Fatal("workers invariance not verified")
+	}
+	if report.WorkersCompared < 2 {
+		t.Fatalf("workers arm = %d, want >= 2", report.WorkersCompared)
+	}
+	if len(report.TreeSchedule) == 0 {
+		t.Fatal("no tree_schedule cases measured")
+	}
+	for _, c := range report.TreeSchedule {
+		if c.ColdW1NsPerOp <= 0 || c.ColdWNNsPerOp <= 0 ||
+			c.WarmW1NsPerOp <= 0 || c.WarmWNNsPerOp <= 0 {
+			t.Fatalf("case P=%d not fully measured: %+v", c.P, c)
+		}
+		if c.ColdSpeedup <= 0 || c.WarmSpeedup <= 0 {
+			t.Fatalf("case P=%d missing speedup ratios: %+v", c.P, c)
+		}
+	}
+	if report.Note == "" {
+		t.Fatal("report note empty")
+	}
+}

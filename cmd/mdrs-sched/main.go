@@ -38,6 +38,7 @@ type options struct {
 	chart     bool
 	tracePath string // decision trace JSONL destination ("" = off)
 	traceText bool   // pretty-print the decision trace after the summary
+	workers   int    // scheduler pool width (0 = GOMAXPROCS)
 }
 
 func main() {
@@ -51,6 +52,7 @@ func main() {
 	flag.BoolVar(&o.chart, "chart", false, "render per-site load bars and utilization")
 	flag.StringVar(&o.tracePath, "trace", "", "write the scheduler's decision trace to this file as JSON lines")
 	flag.BoolVar(&o.traceText, "trace-text", false, "pretty-print the scheduler's decision trace")
+	flag.IntVar(&o.workers, "sched-workers", 0, "scheduler worker pool width; 0 = GOMAXPROCS, 1 = fully serial (output is identical for every value)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
@@ -127,7 +129,7 @@ func runBatch(w io.Writer, paths []string, o options) (err error) {
 	if err != nil {
 		return err
 	}
-	ts := mdrs.TreeScheduler{Model: mdrs.DefaultCostModel(), Overlap: ov, P: o.sites, F: o.f}
+	ts := mdrs.TreeScheduler{Model: mdrs.DefaultCostModel(), Overlap: ov, P: o.sites, F: o.f, Workers: o.workers}
 
 	rec, capture, closeSinks, err := o.recorders()
 	if err != nil {
@@ -240,7 +242,7 @@ func run(w io.Writer, o options) (err error) {
 		}
 	}()
 
-	opts := mdrs.Options{Sites: o.sites, Epsilon: o.eps, F: o.f, Rec: rec}
+	opts := mdrs.Options{Sites: o.sites, Epsilon: o.eps, F: o.f, Rec: rec, SchedWorkers: o.workers}
 	tree, err := mdrs.ScheduleQuery(p, opts)
 	if err != nil {
 		return err

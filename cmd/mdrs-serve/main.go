@@ -53,6 +53,7 @@ type options struct {
 	batchWindow time.Duration
 	soloMargin  time.Duration
 	cacheSize   int
+	workers     int
 }
 
 func main() {
@@ -67,6 +68,7 @@ func main() {
 	flag.DurationVar(&o.batchWindow, "batch-window", 2*time.Millisecond, "how long a group waits for companion queries")
 	flag.DurationVar(&o.soloMargin, "solo-margin", 0, "deadlines nearer than this skip batching (0 = 4x window)")
 	flag.IntVar(&o.cacheSize, "cache", 0, "plan-fingerprint schedule cache size in schedules (0 = disabled)")
+	flag.IntVar(&o.workers, "sched-workers", 0, "per-request scheduler worker pool width; 0 = GOMAXPROCS, 1 = serial (bounds scheduler goroutines at max-inflight x workers)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
@@ -118,11 +120,17 @@ func newService(o options, rec mdrs.Recorder) (*mdrs.SchedulingService, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The service recorder doubles as the scheduler's: sched.* counters
+	// (parallel prepare/pick engagement, phase timings) land in /metricz
+	// next to the serve.* ones, so scheduler concurrency is observable
+	// without a separate trace run.
 	ts := mdrs.TreeScheduler{
 		Model:   mdrs.DefaultCostModel(),
 		Overlap: ov,
 		P:       o.sites,
 		F:       o.f,
+		Rec:     rec,
+		Workers: o.workers,
 	}
 	if o.cacheSize > 0 {
 		// Caching mode also attaches the cost-model memo: repeated specs

@@ -77,14 +77,20 @@ func (ts TreeScheduler) ScheduleBatchCtx(ctx context.Context, trees []*plan.Task
 	}
 	// One scratch serves every global phase (see ScheduleCtx).
 	sc := new(scratch)
+	w := ts.workers()
+	ts.observeWorkers(w)
 	for phaseIdx := 0; phaseIdx < maxPhases; phaseIdx++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var ops []*Op
+		// One preparation fan-out spans the global phase across every
+		// tree of the batch — the widest parallel section available,
+		// since each job carries its own entry's homes map. Jobs are
+		// listed in (batch entry, task, operator) order and consumed in
+		// that order, so the batch is byte-identical for every pool
+		// width; the per-entry ID offset is applied after the pool joins.
 		var tasks []*plan.Task
-		placements := make(map[int]*OpPlacement)
-		treeOf := make(map[int]int) // offset operator ID -> batch entry
+		jobs := sc.prepJobs(0)
 		for i := range trees {
 			if phaseIdx >= len(perTree[i]) {
 				continue
@@ -92,16 +98,24 @@ func (ts TreeScheduler) ScheduleBatchCtx(ctx context.Context, trees []*plan.Task
 			for _, tk := range perTree[i][phaseIdx] {
 				tasks = append(tasks, tk)
 				for _, p := range tk.Ops {
-					op, pl, err := ts.prepare(p, homes[i])
-					if err != nil {
-						return nil, fmt.Errorf("sched: batch phase %d: %w", phaseIdx, err)
-					}
-					op.ID += offsets[i]
-					ops = append(ops, op)
-					placements[op.ID] = pl
-					treeOf[op.ID] = i
+					jobs = append(jobs, prepJob{p: p, homes: homes[i], tree: i})
 				}
 			}
+		}
+		sc.jobs = jobs
+		preps := ts.prepareAll(jobs, w, sc)
+		ops := make([]*Op, 0, len(jobs))
+		placements := make(map[int]*OpPlacement, len(jobs))
+		treeOf := make(map[int]int, len(jobs)) // offset operator ID -> batch entry
+		for j, pr := range preps {
+			if pr.err != nil {
+				return nil, fmt.Errorf("sched: batch phase %d: %w", phaseIdx, pr.err)
+			}
+			op := pr.op
+			op.ID += offsets[jobs[j].tree]
+			ops = append(ops, op)
+			placements[op.ID] = pr.pl
+			treeOf[op.ID] = jobs[j].tree
 		}
 		if ts.Rec != nil {
 			clones := 0
@@ -113,7 +127,7 @@ func (ts TreeScheduler) ScheduleBatchCtx(ctx context.Context, trees []*plan.Task
 				Ops: len(ops), Clones: clones,
 			})
 		}
-		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx, sc)
+		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx, sc, w)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()

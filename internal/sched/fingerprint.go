@@ -5,9 +5,11 @@
 // parameters, the system size and overlap, the granularity parameter,
 // the phase policy, the rooting constraints, and the full tree
 // structure down to each operator's spec, name, and wiring. Fields
-// that never influence a scheduling decision (Rec, Cache) are
-// deliberately excluded — attaching a recorder or a cost cache must
-// not change a plan's identity.
+// that never influence a scheduling decision (Rec, Cache, Workers) are
+// deliberately excluded — attaching a recorder or a cost cache, or
+// changing the pool width, must not change a plan's identity: the
+// parallel identity tests pin that every Workers value produces the
+// same bytes.
 package sched
 
 import (

@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+)
+
+// parWorkersGrid is the pool widths every identity test sweeps: the
+// forced-serial path, small pools, and pools wider than the host.
+var parWorkersGrid = []int{1, 2, 4, 8}
+
+func parTree(t testing.TB, seed int64, joins int) *plan.TaskTree {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	p := query.MustRandom(r, query.DefaultGenConfig(joins))
+	return plan.MustNewTaskTree(plan.MustExpand(p))
+}
+
+func TestShardWorkersClamp(t *testing.T) {
+	cases := []struct{ workers, p, want int }{
+		{8, 512, 8},    // wide system: no clamp
+		{8, 256, 8},    // exactly 32 sites per shard
+		{8, 128, 4},    // thin shards: halve the pool
+		{8, 40, 1},     // 40/32 = 1: forced serial
+		{1, 100000, 1}, // explicit serial stays serial
+		{16, 300, 9},   // clamp to P/shardMinPerWorker
+	}
+	for _, c := range cases {
+		if got := shardWorkers(c.workers, c.p); got != c.want {
+			t.Errorf("shardWorkers(%d, %d) = %d, want %d", c.workers, c.p, got, c.want)
+		}
+	}
+}
+
+// The tentpole invariant: TreeSchedule output is byte-identical for
+// every Workers value, with and without a cost cache, at system sizes
+// on both sides of the sharded-argmin gate.
+func TestTreeScheduleWorkersInvariance(t *testing.T) {
+	for _, p := range []int{16, 300, 512} {
+		for _, joins := range []int{6, 12, 18} {
+			tt := parTree(t, int64(100*p+joins), joins)
+			for _, cached := range []bool{false, true} {
+				ts := TreeScheduler{Model: costmodel.Default(), Overlap: resource.MustOverlap(0.5), P: p, F: 0.7}
+				if cached {
+					ts.Cache = costmodel.NewCache(ts.Model)
+				}
+				ts.Workers = 1
+				ref, err := ts.Schedule(tt)
+				if err != nil {
+					t.Fatalf("P=%d joins=%d: %v", p, joins, err)
+				}
+				refJSON, err := EncodeJSON(ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range append([]int{0}, parWorkersGrid[1:]...) {
+					ts.Workers = w
+					s, err := ts.Schedule(tt)
+					if err != nil {
+						t.Fatalf("P=%d joins=%d workers=%d: %v", p, joins, w, err)
+					}
+					got, err := EncodeJSON(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, refJSON) {
+						t.Fatalf("P=%d joins=%d cached=%v: workers=%d schedule differs from workers=1",
+							p, joins, cached, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Same invariant for ScheduleBatch, whose preparation fan-out spans all
+// batch entries of a global phase (including a repeated tree, the PR 3
+// aliasing case).
+func TestScheduleBatchWorkersInvariance(t *testing.T) {
+	shared := parTree(t, 7, 10)
+	trees := []*plan.TaskTree{
+		parTree(t, 3, 8),
+		shared,
+		parTree(t, 5, 14),
+		shared,
+	}
+	for _, p := range []int{24, 300} {
+		ts := TreeScheduler{Model: costmodel.Default(), Overlap: resource.MustOverlap(0.4), P: p, F: 0.7, Workers: 1}
+		ref, err := ts.ScheduleBatch(trees)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refJSON, err := EncodeJSON(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range parWorkersGrid[1:] {
+			ts.Workers = w
+			s, err := ts.ScheduleBatch(trees)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := EncodeJSON(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, refJSON) {
+				t.Fatalf("P=%d workers=%d: batch schedule differs from workers=1", p, w)
+			}
+		}
+	}
+}
+
+// Direct sharded-vs-serial check on operatorSchedule, past the gate and
+// with rooted operators in the mix: identical site assignments and
+// response for every pool width.
+func TestOperatorScheduleShardedMatchesSerial(t *testing.T) {
+	for _, p := range []int{256, 384, 512} {
+		r := rand.New(rand.NewSource(int64(p)))
+		ops := randomOps(r, 40, 64, 3)
+		// Root a few operators at random distinct sites.
+		for i := 0; i < 5; i++ {
+			op := ops[i*7]
+			perm := r.Perm(p)
+			op.Home = append([]int(nil), perm[:len(op.Clones)]...)
+		}
+		ref, err := operatorSchedule(context.Background(), p, 3, ov(0.5), ops, true, nil, 0, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range parWorkersGrid[1:] {
+			got, err := operatorSchedule(context.Background(), p, 3, ov(0.5), ops, true, nil, 0, nil, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Response != ref.Response {
+				t.Fatalf("P=%d workers=%d: response %g != %g", p, w, got.Response, ref.Response)
+			}
+			if !reflect.DeepEqual(got.Sites, ref.Sites) {
+				t.Fatalf("P=%d workers=%d: site assignment differs", p, w)
+			}
+		}
+	}
+}
+
+// The decision trace must be byte-identical too: the sharded path's
+// skip counting and event emission reproduce the serial walk exactly,
+// down to sequence numbers.
+func TestShardedTraceIdenticalToSerial(t *testing.T) {
+	tt := parTree(t, 11, 14)
+	traces := make([][]obs.Event, 2)
+	for i, w := range []int{1, 8} {
+		cap := obs.NewCapture()
+		ts := TreeScheduler{
+			Model: costmodel.Default(), Overlap: resource.MustOverlap(0.5),
+			P: 300, F: 0.7, Rec: cap, Workers: w,
+		}
+		if _, err := ts.Schedule(tt); err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = cap.Events()
+	}
+	if len(traces[0]) == 0 {
+		t.Fatal("no events captured")
+	}
+	if !reflect.DeepEqual(traces[0], traces[1]) {
+		if len(traces[0]) != len(traces[1]) {
+			t.Fatalf("event counts differ: %d vs %d", len(traces[0]), len(traces[1]))
+		}
+		for i := range traces[0] {
+			if traces[0][i] != traces[1][i] {
+				t.Fatalf("event %d differs:\nserial:  %+v\nsharded: %+v", i, traces[0][i], traces[1][i])
+			}
+		}
+	}
+}
+
+// The pool must actually engage: with Workers > 1 on a P ≥ shardMinSites
+// system both the parallel prepare counter and the sharded pick counter
+// appear in the metrics.
+func TestParallelCountersRecorded(t *testing.T) {
+	tt := parTree(t, 21, 12)
+	met := obs.NewMetrics()
+	ts := TreeScheduler{
+		Model: costmodel.Default(), Overlap: resource.MustOverlap(0.5),
+		P: 300, F: 0.7, Rec: met, Workers: 4,
+	}
+	if _, err := ts.Schedule(tt); err != nil {
+		t.Fatal(err)
+	}
+	snap := met.Snapshot()
+	if snap.Counters["sched.par.prepare_ops_parallel"] == 0 {
+		t.Errorf("prepare_ops_parallel not counted: %v", snap.Counters)
+	}
+	if snap.Counters["sched.par.picks_sharded"] == 0 {
+		t.Errorf("picks_sharded not counted: %v", snap.Counters)
+	}
+	if _, ok := snap.Histograms["sched.par.workers"]; !ok {
+		t.Error("sched.par.workers histogram missing")
+	}
+
+	// And on a small system the serial pick counter appears instead.
+	met2 := obs.NewMetrics()
+	ts.P, ts.Rec = 16, met2
+	if _, err := ts.Schedule(tt); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := met2.Snapshot()
+	if snap2.Counters["sched.par.picks_serial"] == 0 {
+		t.Errorf("picks_serial not counted below the gate: %v", snap2.Counters)
+	}
+	if snap2.Counters["sched.par.picks_sharded"] != 0 {
+		t.Errorf("picks_sharded counted below the gate: %v", snap2.Counters)
+	}
+}
+
+// Race hammer (run under -race via the Makefile par-race gate): many
+// concurrent ScheduleCtx calls with Workers=4 on a shared cache, a
+// fraction cancelled mid-placement. Completed runs must be byte-equal
+// to the reference; cancelled runs must return ctx.Err().
+func TestScheduleCtxParallelHammer(t *testing.T) {
+	tt := parTree(t, 31, 16)
+	model := costmodel.Default()
+	cache := costmodel.NewCache(model)
+	mk := func() TreeScheduler {
+		return TreeScheduler{
+			Model: model, Overlap: resource.MustOverlap(0.5),
+			P: 300, F: 0.7, Cache: cache, Workers: 4,
+		}
+	}
+	ref, err := mk().Schedule(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := EncodeJSON(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const calls = 24
+	var wg sync.WaitGroup
+	errCh := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			cancelled := i%3 == 0
+			if cancelled {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(i)*50*time.Microsecond)
+				defer cancel()
+			}
+			s, err := mk().ScheduleCtx(ctx, tt)
+			switch {
+			case err != nil:
+				if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					errCh <- err
+				}
+			default:
+				got, err := EncodeJSON(s)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(got, refJSON) {
+					errCh <- errors.New("concurrent schedule differs from reference")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

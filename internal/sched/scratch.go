@@ -27,6 +27,14 @@ type scratch struct {
 	// validated. The generation trick makes per-operator reset O(1).
 	homeSeen []int
 	gen      int
+	// jobs/prep carry one phase's cost-preparation fan-out (parallel.go):
+	// the job list built serially in operator order and the index-aligned
+	// results the pool writes. Reused between phases.
+	jobs []prepJob
+	prep []prepOut
+	// keys is the sharded picker's flat per-site key array, reused when
+	// consecutive phases of one run take the sharded path.
+	keys []siteKey
 }
 
 // item is one floating clone vector on the step-2 list.
@@ -79,4 +87,38 @@ func (sc *scratch) cloneList(n int) []item {
 		sc.list = make([]item, 0, n)
 	}
 	return sc.list[:0]
+}
+
+// prepJobs returns the empty cost-preparation job list with capacity
+// for n jobs.
+func (sc *scratch) prepJobs(n int) []prepJob {
+	if cap(sc.jobs) < n {
+		sc.jobs = make([]prepJob, 0, n)
+	}
+	return sc.jobs[:0]
+}
+
+// prepOuts returns a zeroed result slice for n preparation jobs. The
+// zeroing matters: stale pointers from a previous phase must not leak
+// into a phase whose pool writes fail or race-free-but-partial tests
+// inspect the slice.
+func (sc *scratch) prepOuts(n int) []prepOut {
+	if cap(sc.prep) < n {
+		sc.prep = make([]prepOut, n)
+		return sc.prep
+	}
+	sc.prep = sc.prep[:n]
+	for i := range sc.prep {
+		sc.prep[i] = prepOut{}
+	}
+	return sc.prep
+}
+
+// shardKeys returns the sharded picker's key array for p sites. Every
+// entry is overwritten by newShardedPicker, so no clearing is needed.
+func (sc *scratch) shardKeys(p int) []siteKey {
+	if cap(sc.keys) < p {
+		sc.keys = make([]siteKey, p)
+	}
+	return sc.keys[:p]
 }

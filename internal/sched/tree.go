@@ -44,6 +44,17 @@ type TreeScheduler struct {
 	// pinned by the identity tests. Safe to share across concurrent
 	// scheduling calls.
 	Cache *costmodel.Cache
+	// Workers bounds the intra-schedule parallelism of one scheduling
+	// call: the per-phase cost-preparation fan-out and, for systems past
+	// the shardMinSites gate, the sharded placement argmin (parallel.go).
+	// Zero or negative means runtime.GOMAXPROCS(0); 1 forces the fully
+	// serial pre-parallel code path with no goroutines at all. The
+	// schedule is byte-identical for every value — Workers only changes
+	// wall-clock time — which is why Fingerprint excludes it, like Rec
+	// and Cache. Each concurrent Schedule/ScheduleBatch call may run up
+	// to Workers goroutines of its own (the serve layer's documented
+	// bound is MaxInFlight × Workers).
+	Workers int
 }
 
 // Validate reports the first nonsensical configuration field.
@@ -163,22 +174,38 @@ func (ts TreeScheduler) ScheduleCtx(ctx context.Context, tt *plan.TaskTree) (*Sc
 	// One scratch serves every phase: the placement loop's ban sets,
 	// clone list, and site index are reused instead of reallocated.
 	sc := new(scratch)
+	w := ts.workers()
+	ts.observeWorkers(w)
 
 	for phaseIdx, tasks := range tt.PhasesBy(ts.Policy) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		var ops []*Op
-		placements := make(map[int]*OpPlacement)
+		// Fan the phase's cost preparation across the pool: the job list
+		// is built serially in operator order, results land by index, and
+		// the error check below walks them in that same order, so the
+		// phase — including which prepare error surfaces — is identical
+		// for every pool width.
+		n := 0
+		for _, tk := range tasks {
+			n += len(tk.Ops)
+		}
+		jobs := sc.prepJobs(n)
 		for _, tk := range tasks {
 			for _, p := range tk.Ops {
-				op, pl, err := ts.prepare(p, homes)
-				if err != nil {
-					return nil, fmt.Errorf("sched: phase %d: %w", phaseIdx, err)
-				}
-				ops = append(ops, op)
-				placements[op.ID] = pl
+				jobs = append(jobs, prepJob{p: p, homes: homes})
 			}
+		}
+		sc.jobs = jobs
+		preps := ts.prepareAll(jobs, w, sc)
+		ops := make([]*Op, 0, len(jobs))
+		placements := make(map[int]*OpPlacement, len(jobs))
+		for _, pr := range preps {
+			if pr.err != nil {
+				return nil, fmt.Errorf("sched: phase %d: %w", phaseIdx, pr.err)
+			}
+			ops = append(ops, pr.op)
+			placements[pr.op.ID] = pr.pl
 		}
 
 		if ts.Rec != nil {
@@ -192,7 +219,7 @@ func (ts TreeScheduler) ScheduleCtx(ctx context.Context, tt *plan.TaskTree) (*Sc
 			})
 		}
 		stop := obs.StartTimer(ts.Rec, "sched.phase_seconds")
-		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx, sc)
+		res, err := operatorSchedule(ctx, ts.P, resource.Dims, ts.Overlap, ops, true, ts.Rec, phaseIdx, sc, w)
 		stop()
 		if err != nil {
 			if ctx.Err() != nil {

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"mdrs/internal/obs"
+	"mdrs/internal/par"
 	"mdrs/internal/plan"
 	"mdrs/internal/sched"
 )
@@ -64,7 +65,12 @@ var (
 type Config struct {
 	// Scheduler produces every schedule. Its Rec recorder (if any) sees
 	// the usual decision trace; the service's own counters go to Rec
-	// below.
+	// below. Its Workers knob bounds the intra-schedule parallelism of
+	// each request being scheduled, so the service's total scheduler
+	// goroutine bound is MaxInFlight × Workers (each admitted request
+	// runs at most one scheduling call, and each call at most Workers
+	// goroutines). The effective width is surfaced once at start-up as
+	// the serve.sched_workers counter.
 	Scheduler sched.TreeScheduler
 
 	// MaxInFlight bounds the number of admitted requests being batched
@@ -212,6 +218,11 @@ func New(cfg Config) (*Service, error) {
 		done:    make(chan struct{}),
 		cache:   newSchedCache(cfg.CacheSize),
 	}
+	// Surface the effective scheduler pool width so /metricz-style
+	// consumers can compute the MaxInFlight × Workers goroutine bound
+	// without re-deriving GOMAXPROCS defaults.
+	obs.Count(cfg.Rec, "serve.sched_workers", int64(par.Workers(cfg.Scheduler.Workers)))
+	obs.Count(cfg.Rec, "serve.max_inflight", int64(cfg.MaxInFlight))
 	s.workers.Add(1)
 	go s.collect()
 	return s, nil

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -163,6 +165,102 @@ func TestQuickOneDimensionalExact(t *testing.T) {
 	}
 }
 
+// simulateSiteQuadratic is the pre-optimization O(n²·d) event loop,
+// kept verbatim as the oracle for the incremental-demand rewrite: each
+// event rebuilds the aggregate demand and rescans all survivors for the
+// next completion.
+func simulateSiteQuadratic(ov resource.Overlap, clones []vector.Vector) (float64, error) {
+	type state struct {
+		rate      vector.Vector
+		remaining float64
+	}
+	var active []*state
+	d := -1
+	for i, w := range clones {
+		if err := w.Validate(); err != nil {
+			return 0, fmt.Errorf("sim: clone %d: %w", i, err)
+		}
+		if d < 0 {
+			d = w.Dim()
+		} else if w.Dim() != d {
+			return 0, fmt.Errorf("sim: clone %d dimension %d != %d", i, w.Dim(), d)
+		}
+		t := ov.TSeq(w)
+		if t <= 0 {
+			continue
+		}
+		active = append(active, &state{rate: w.Scale(1 / t), remaining: t})
+	}
+	now := 0.0
+	for len(active) > 0 {
+		demand := vector.New(d)
+		for _, s := range active {
+			demand.AddInPlace(s.rate)
+		}
+		lambda := 1.0
+		if m := demand.Length(); m > 1 {
+			lambda = 1 / m
+		}
+		minRem := math.Inf(1)
+		for _, s := range active {
+			if s.remaining < minRem {
+				minRem = s.remaining
+			}
+		}
+		now += minRem / lambda
+		next := active[:0]
+		for _, s := range active {
+			s.remaining -= minRem
+			if s.remaining > 1e-12 {
+				next = append(next, s)
+			}
+		}
+		active = next
+	}
+	return now, nil
+}
+
+// Property: the incremental event loop agrees with the quadratic
+// reference to floating-point tolerance on random clone sets (the two
+// accumulate the demand vector and the clock in different orders, so
+// exact bit equality is not expected — equality of the fluid model is).
+func TestQuickSimulateSiteMatchesQuadraticReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ov := resource.MustOverlap(r.Float64())
+		d := 1 + r.Intn(4)
+		n := 1 + r.Intn(40)
+		clones := make([]vector.Vector, n)
+		for i := range clones {
+			w := vector.New(d)
+			for j := range w {
+				w[j] = r.Float64() * 10
+			}
+			// Sprinkle in zero-work and duplicate-time clones: the retire
+			// loop's tie handling is where the two loops could diverge.
+			if r.Intn(7) == 0 {
+				for j := range w {
+					w[j] = 0
+				}
+			}
+			if i > 0 && r.Intn(5) == 0 {
+				copy(w, clones[i-1])
+			}
+			clones[i] = w
+		}
+		got, err1 := SimulateSite(ov, clones)
+		want, err2 := simulateSiteQuadratic(ov, clones)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		tol := 1e-9 * math.Max(1, want)
+		return math.Abs(got-want) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSimulateSystem(t *testing.T) {
 	ov := resource.MustOverlap(1)
 	siteClones := [][]vector.Vector{
@@ -185,6 +283,62 @@ func TestSimulateSystem(t *testing.T) {
 	}
 	if overall.Simulated < overall.Analytic-1e-9 {
 		t.Fatalf("overall sim %g below analytic %g", overall.Simulated, overall.Analytic)
+	}
+}
+
+// The system fan-out must be invisible: every pool width yields exactly
+// the same per-site comparisons and overall maxima.
+func TestSimulateSystemWorkersDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ov := resource.MustOverlap(0.5)
+	siteClones := make([][]vector.Vector, 64)
+	for j := range siteClones {
+		for c := 0; c < r.Intn(6); c++ {
+			w := vector.New(3)
+			for k := range w {
+				w[k] = r.Float64() * 10
+			}
+			siteClones[j] = append(siteClones[j], w)
+		}
+	}
+	refPer, refAll, err := SimulateSystemWorkers(ov, siteClones, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		per, all, err := SimulateSystemWorkers(ov, siteClones, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all != refAll {
+			t.Fatalf("workers=%d: overall %+v != %+v", w, all, refAll)
+		}
+		for j := range per {
+			if per[j] != refPer[j] {
+				t.Fatalf("workers=%d: site %d %+v != %+v", w, j, per[j], refPer[j])
+			}
+		}
+	}
+}
+
+// With several failing sites the lowest-indexed failure must win for
+// every pool width — the serial index-order reduction, not goroutine
+// scheduling, selects the reported error.
+func TestSimulateSystemWorkersDeterministicError(t *testing.T) {
+	siteClones := [][]vector.Vector{
+		{vector.Of(1, 2)},
+		{vector.Of(-1, 0)},                    // invalid: negative work
+		{vector.Of(1, 2, 3), vector.Of(1, 2)}, // invalid: dimension mismatch
+	}
+	ov := resource.MustOverlap(0.5)
+	for _, w := range []int{1, 2, 8} {
+		_, _, err := SimulateSystemWorkers(ov, siteClones, w)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid input accepted", w)
+		}
+		if got := err.Error(); !strings.Contains(got, "site 1") {
+			t.Fatalf("workers=%d: error %q does not name the lowest failing site", w, got)
+		}
 	}
 }
 
@@ -231,21 +385,50 @@ func TestSimulateScheduleTracksAnalyticModel(t *testing.T) {
 }
 
 func BenchmarkSimulateSite(b *testing.B) {
-	r := rand.New(rand.NewSource(1))
 	ov := resource.MustOverlap(0.5)
-	clones := make([]vector.Vector, 32)
-	for i := range clones {
-		w := vector.New(3)
-		for j := range w {
-			w[j] = r.Float64() * 10
+	for _, n := range []int{10, 32, 100, 1000} {
+		r := rand.New(rand.NewSource(1))
+		clones := make([]vector.Vector, n)
+		for i := range clones {
+			w := vector.New(3)
+			for j := range w {
+				w[j] = r.Float64() * 10
+			}
+			clones[i] = w
 		}
-		clones[i] = w
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SimulateSite(ov, clones); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := SimulateSite(ov, clones); err != nil {
-			b.Fatal(err)
+}
+
+// BenchmarkSimulateSiteQuadratic is the retired O(n²·d) loop at the
+// same sizes, so `go test -bench SimulateSite` shows the asymptotic win
+// side by side (at n=1000 the gap is two orders of magnitude).
+func BenchmarkSimulateSiteQuadratic(b *testing.B) {
+	ov := resource.MustOverlap(0.5)
+	for _, n := range []int{10, 100, 1000} {
+		r := rand.New(rand.NewSource(1))
+		clones := make([]vector.Vector, n)
+		for i := range clones {
+			w := vector.New(3)
+			for j := range w {
+				w[j] = r.Float64() * 10
+			}
+			clones[i] = w
 		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := simulateSiteQuadratic(ov, clones); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

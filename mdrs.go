@@ -258,6 +258,13 @@ type Options struct {
 	// counters. It is strictly observational: the schedule is identical
 	// with or without it.
 	Rec Recorder
+	// SchedWorkers bounds the scheduler's intra-call parallelism (the
+	// concurrent cost-preparation pass and, for large systems, the
+	// sharded placement argmin). Zero or negative means
+	// runtime.GOMAXPROCS(0); 1 forces the fully serial path. The
+	// schedule is byte-identical for every value — the knob only trades
+	// wall-clock time against goroutines.
+	SchedWorkers int
 }
 
 func (o Options) normalize() (CostModel, Overlap, error) {
@@ -296,7 +303,7 @@ func ScheduleQueryCtx(ctx context.Context, p *PlanNode, o Options) (*Schedule, e
 	if err != nil {
 		return nil, err
 	}
-	ts := sched.TreeScheduler{Model: m, Overlap: ov, P: o.Sites, F: o.F, Rec: o.Rec}
+	ts := sched.TreeScheduler{Model: m, Overlap: ov, P: o.Sites, F: o.F, Rec: o.Rec, Workers: o.SchedWorkers}
 	return ts.ScheduleCtx(ctx, tt)
 }
 
