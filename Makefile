@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obs-race serve-race cache-race par-race bench bench-placement bench-cache bench-parallel figures trace-demo
+.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race bench bench-placement bench-cache bench-parallel bench-serve figures trace-demo
 
-check: build vet race obs-race serve-race cache-race par-race
+check: build vet race obs-race serve-race cache-race par-race loadgen-race
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ cache-race:
 par-race:
 	$(GO) test -race -count=1 -run 'Par|Workers|Sharded|Hammer' ./internal/sched ./internal/sim ./internal/par
 
+# The load-harness gate: the open-loop generator, the pooled request
+# path, the sharded cache hammers, and the Close-race fallback, fresh
+# under the race detector.
+loadgen-race:
+	$(GO) test -race -count=1 ./cmd/mdrs-loadgen
+	$(GO) test -race -count=1 -run 'Hammer|Counter|Shard|Follower|Oversized' ./internal/serve ./cmd/mdrs-serve
+
 # Placement micro-benchmark tracked in BENCH_sched.json.
 bench-placement:
 	$(GO) test ./internal/sched -run '^$$' -bench BenchmarkOperatorSchedulePlacement -benchmem
@@ -61,6 +68,13 @@ bench-cache:
 # Workers=N (cold and warm) plus the live workers-invariance verdict.
 bench-parallel:
 	$(GO) run ./cmd/mdrs-bench -par-bench BENCH_parallel.json
+
+# Regenerate BENCH_serve.json: the serving layer's open-loop load curve
+# (goodput, shed rate, p50/p99/p999 latency, cache rates at three
+# offered-load points) plus the closed-loop saturation probe of
+# serve-layer overhead vs pure schedule time.
+bench-serve:
+	$(GO) run ./cmd/mdrs-loadgen -rps 50,200,800 -duration 5s -out BENCH_serve.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,0 +1,297 @@
+// Command mdrs-loadgen drives the scheduling service with an open-loop
+// workload and writes the resulting load curve as JSON (the
+// BENCH_serve.json format tracked at the repository root).
+//
+// The generator offers load at fixed request rates — Poisson or
+// uniform arrivals — against either an in-process SchedulingService
+// (the default; measures the serve layer with no network in the way)
+// or a running mdrs-serve over HTTP (-target). The plan population is
+// a fixed set of templates with mixed join counts, drawn Zipfian so a
+// configurable fraction of traffic repeats hot plans (the cache-hit
+// skew), and a configurable fraction of requests carry deadlines.
+//
+// Each offered-load point reports exact p50/p99/p999 delivered
+// latency, shed rate, goodput, and the cache-hit and coalesce rates.
+// For the in-process target a separate closed-loop saturation probe
+// measures the serve layer's own overhead as a fraction of pure
+// schedule time (see DESIGN.md §12 for the methodology).
+//
+// Usage:
+//
+//	mdrs-loadgen -rps 50,200,800 -duration 5s -out BENCH_serve.json
+//	mdrs-loadgen -target http://localhost:8080 -rps 100,400 -cache 256
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"mdrs"
+)
+
+// options is the full mdrs-loadgen flag surface.
+type options struct {
+	out      string
+	target   string
+	rps      string
+	duration time.Duration
+	arrivals string
+	seed     int64
+
+	// Workload population.
+	templates    int
+	joins        int
+	joinsSpread  int
+	zipfS        float64
+	deadlineFrac float64
+	deadline     time.Duration
+
+	// In-process service shape (ignored with -target).
+	sites        int
+	eps, f       float64
+	maxInFlight  int
+	maxQueue     int
+	maxBatch     int
+	batchWindow  time.Duration
+	cacheSize    int
+	schedWorkers int
+
+	// Saturation overhead probe (in-process only; 0 disables).
+	overheadReqs int
+}
+
+func parseFlags() options {
+	var o options
+	flag.StringVar(&o.out, "out", "BENCH_serve.json", "write the load-curve report as JSON to this file")
+	flag.StringVar(&o.target, "target", "", "base URL of a running mdrs-serve (empty = in-process service)")
+	flag.StringVar(&o.rps, "rps", "50,200,800", "comma-separated offered-load points in requests/sec")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "wall time per offered-load point")
+	flag.StringVar(&o.arrivals, "arrivals", "poisson", "arrival process: poisson or uniform")
+	flag.Int64Var(&o.seed, "seed", 1, "workload and arrival seed")
+	flag.IntVar(&o.templates, "templates", 32, "distinct plan templates in the population")
+	flag.IntVar(&o.joins, "joins", 4, "minimum joins per template")
+	flag.IntVar(&o.joinsSpread, "joins-spread", 3, "template join counts walk [joins, joins+spread]")
+	flag.Float64Var(&o.zipfS, "zipf", 1.2, "Zipf skew over templates (s > 1; <= 1 = uniform draws)")
+	flag.Float64Var(&o.deadlineFrac, "deadline-frac", 0.1, "fraction of requests carrying a deadline")
+	flag.DurationVar(&o.deadline, "deadline", 250*time.Millisecond, "deadline attached to that fraction")
+	flag.IntVar(&o.sites, "sites", 32, "number of system sites P")
+	flag.Float64Var(&o.eps, "eps", 0.5, "resource overlap parameter ε in [0,1]")
+	flag.Float64Var(&o.f, "f", 0.7, "coarse-granularity parameter f")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 0, "admission limit on concurrent requests (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxQueue, "max-queue", 0, "bounded wait queue beyond the admission limit (0 = 4x limit, -1 = none)")
+	flag.IntVar(&o.maxBatch, "max-batch", 8, "maximum queries per batched workload")
+	flag.DurationVar(&o.batchWindow, "batch-window", 2*time.Millisecond, "how long a group waits for companion queries")
+	flag.IntVar(&o.cacheSize, "cache", 256, "plan-fingerprint schedule cache size (0 = disabled)")
+	flag.IntVar(&o.schedWorkers, "sched-workers", 0, "per-request scheduler worker pool width (0 = GOMAXPROCS)")
+	flag.IntVar(&o.overheadReqs, "overhead-requests", 200, "requests per worker in the saturation overhead probe (0 = skip)")
+	flag.Parse()
+	return o
+}
+
+// reportConfig records every knob that shapes the numbers, so two
+// BENCH_serve.json files are comparable only when their configs match.
+type reportConfig struct {
+	Target        string  `json:"target"` // "inproc" or the -target URL
+	Arrivals      string  `json:"arrivals"`
+	Seed          int64   `json:"seed"`
+	Templates     int     `json:"templates"`
+	Joins         int     `json:"joins"`
+	JoinsSpread   int     `json:"joins_spread"`
+	ZipfS         float64 `json:"zipf_s"`
+	DeadlineFrac  float64 `json:"deadline_frac"`
+	DeadlineMs    float64 `json:"deadline_ms"`
+	Sites         int     `json:"sites"`
+	Epsilon       float64 `json:"epsilon"`
+	F             float64 `json:"f"`
+	MaxInFlight   int     `json:"max_inflight"`
+	MaxBatch      int     `json:"max_batch"`
+	BatchWindowMs float64 `json:"batch_window_ms"`
+	CacheSize     int     `json:"cache_size"`
+	SchedWorkers  int     `json:"sched_workers"`
+}
+
+// report is the BENCH_serve.json document: configuration, one
+// PointResult per offered-load point, and (in-process runs) the
+// closed-loop saturation overhead probe.
+type report struct {
+	Config   reportConfig    `json:"config"`
+	Points   []PointResult   `json:"points"`
+	Overhead *OverheadResult `json:"overhead,omitempty"`
+}
+
+func main() {
+	if err := run(parseFlags(), os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "mdrs-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the full load sweep and writes the report; split from
+// main so tests can drive the binary end to end without a process.
+func run(o options, errW io.Writer) error {
+	rates, err := parseRates(o.rps)
+	if err != nil {
+		return err
+	}
+	var poisson bool
+	switch o.arrivals {
+	case "poisson":
+		poisson = true
+	case "uniform":
+	default:
+		return fmt.Errorf("unknown -arrivals %q (want poisson or uniform)", o.arrivals)
+	}
+	if o.duration <= 0 {
+		return fmt.Errorf("-duration must be positive, have %v", o.duration)
+	}
+
+	r := rand.New(rand.NewSource(o.seed))
+	w, err := newWorkload(r, o.templates, o.joins, o.joinsSpread, o.zipfS, o.deadlineFrac, o.deadline)
+	if err != nil {
+		return err
+	}
+
+	var (
+		tgt target
+		met *mdrs.Metrics
+	)
+	targetName := o.target
+	if o.target == "" {
+		targetName = "inproc"
+		met = mdrs.NewMetrics()
+		svc, err := newService(o, met, o.maxBatch, o.batchWindow, o.cacheSize)
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		tgt = &inprocTarget{svc: svc, w: w}
+	} else {
+		tgt = &httpTarget{
+			base:   strings.TrimRight(o.target, "/"),
+			client: &http.Client{}, // per-request deadlines come from ctx
+			w:      w,
+		}
+	}
+
+	rep := report{
+		Config: reportConfig{
+			Target:        targetName,
+			Arrivals:      o.arrivals,
+			Seed:          o.seed,
+			Templates:     o.templates,
+			Joins:         o.joins,
+			JoinsSpread:   o.joinsSpread,
+			ZipfS:         o.zipfS,
+			DeadlineFrac:  o.deadlineFrac,
+			DeadlineMs:    float64(o.deadline) / float64(time.Millisecond),
+			Sites:         o.sites,
+			Epsilon:       o.eps,
+			F:             o.f,
+			MaxInFlight:   o.maxInFlight,
+			MaxBatch:      o.maxBatch,
+			BatchWindowMs: float64(o.batchWindow) / float64(time.Millisecond),
+			CacheSize:     o.cacheSize,
+			SchedWorkers:  o.schedWorkers,
+		},
+	}
+
+	ctx := context.Background()
+	for _, rps := range rates {
+		pt := runPoint(ctx, tgt, w, met, rps, o.duration, poisson, r)
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(errW,
+			"mdrs-loadgen: %7.1f rps offered: goodput %7.1f/s, shed %5.1f%%, p50 %.2fms, p99 %.2fms, p999 %.2fms, cache %4.1f%%\n",
+			pt.OfferedRPS, pt.GoodputRPS, 100*pt.ShedRate,
+			pt.Latency.P50, pt.Latency.P99, pt.Latency.P999, 100*pt.CacheHitRate)
+	}
+
+	// The overhead probe only makes sense against the in-process
+	// service: it needs a dedicated instance with batching and caching
+	// off, and the serve-layer histograms to decompose wall time.
+	if o.target == "" && o.overheadReqs > 0 {
+		conc := o.maxInFlight
+		if conc <= 0 {
+			conc = runtime.GOMAXPROCS(0)
+		}
+		oh, err := measureOverhead(func(m *mdrs.Metrics) (*mdrs.SchedulingService, error) {
+			return newService(o, m, 1, 0, 0) // MaxBatch 1, no window, no cache
+		}, w.trees, conc, o.overheadReqs)
+		if err != nil {
+			return err
+		}
+		rep.Overhead = &oh
+		fmt.Fprintf(errW,
+			"mdrs-loadgen: saturation probe: %d workers, request %.0fµs vs schedule %.0fµs → serve overhead %.2f%%\n",
+			oh.Concurrency, oh.RequestUsMean, oh.ScheduleUs, 100*oh.OverheadFrac)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(errW, "mdrs-loadgen: wrote %d points to %s\n", len(rep.Points), o.out)
+	return nil
+}
+
+// newService builds an in-process scheduling service with the run's
+// scheduler shape; batch/window/cache are parameters so the overhead
+// probe can strip them while keeping the same scheduler.
+func newService(o options, met *mdrs.Metrics, maxBatch int, window time.Duration, cacheSize int) (*mdrs.SchedulingService, error) {
+	ov, err := mdrs.NewOverlap(o.eps)
+	if err != nil {
+		return nil, err
+	}
+	ts := mdrs.TreeScheduler{
+		Model:   mdrs.DefaultCostModel(),
+		Overlap: ov,
+		P:       o.sites,
+		F:       o.f,
+		Rec:     met,
+		Workers: o.schedWorkers,
+	}
+	if cacheSize > 0 {
+		ts.Cache = mdrs.NewCostCache(ts.Model)
+	}
+	return mdrs.NewSchedulingService(mdrs.ServeConfig{
+		Scheduler:   ts,
+		MaxInFlight: o.maxInFlight,
+		MaxQueue:    o.maxQueue,
+		MaxBatch:    maxBatch,
+		BatchWindow: window,
+		CacheSize:   cacheSize,
+		Rec:         met,
+	})
+}
+
+// parseRates parses the -rps comma list into positive rates.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -rps entry %q (want positive numbers)", part)
+		}
+		rates = append(rates, v)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-rps is empty")
+	}
+	return rates, nil
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("50, 200,800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{50, 200, 800}
+	if len(got) != len(want) {
+		t.Fatalf("parseRates: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseRates[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "10,,x"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWorkloadZipfSkewAndDeterminism(t *testing.T) {
+	w, err := newWorkload(rand.New(rand.NewSource(3)), 8, 2, 2, 1.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.zipf == nil {
+		t.Fatal("zipf s=1.5 did not engage the Zipf generator")
+	}
+	r := rand.New(rand.NewSource(4))
+	counts := make([]int, 8)
+	for i := 0; i < 4000; i++ {
+		counts[w.draw(r).template]++
+	}
+	if counts[0] <= counts[7] {
+		t.Fatalf("Zipf draws not skewed to rank 0: %v", counts)
+	}
+
+	// s <= 1 degrades to uniform draws over the population.
+	u, err := newWorkload(rand.New(rand.NewSource(3)), 8, 2, 2, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.zipf != nil {
+		t.Fatal("zipf s=0 still built a Zipf generator")
+	}
+
+	// Same seed, same population: the template trees are byte-stable.
+	w2, err := newWorkload(rand.New(rand.NewSource(3)), 8, 2, 2, 1.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.bodies {
+		if string(w.bodies[i]) != string(w2.bodies[i]) {
+			t.Fatalf("template %d differs across same-seed workloads", i)
+		}
+	}
+}
+
+func TestWorkloadDeadlineMix(t *testing.T) {
+	w, err := newWorkload(rand.New(rand.NewSource(5)), 2, 2, 0, 0, 0.5, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	with := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		if w.draw(r).deadline > 0 {
+			with++
+		}
+	}
+	if with < draws/3 || with > 2*draws/3 {
+		t.Fatalf("deadline-frac 0.5 gave %d/%d deadlines", with, draws)
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	st := latencyStats(lats)
+	if st.P50 != 50 || st.P99 != 99 || st.Max != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.P999 != 100 { // nearest rank of 0.999 over 100 samples
+		t.Fatalf("p999: %v", st.P999)
+	}
+	if st.Mean != 50.5 {
+		t.Fatalf("mean: %v", st.Mean)
+	}
+	if zero := latencyStats(nil); zero != (LatencyStats{}) {
+		t.Fatalf("empty stats: %+v", zero)
+	}
+}
+
+// TestHTTPTargetClassifiesOutcomes drives the HTTP target against a
+// stub server and checks the status-to-outcome mapping mdrs-serve uses.
+func TestHTTPTargetClassifiesOutcomes(t *testing.T) {
+	w, err := newWorkload(rand.New(rand.NewSource(7)), 1, 2, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status int
+	var cached string
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/schedule" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		if cached != "" {
+			rw.Header().Set("X-Mdrs-Cached", cached)
+		}
+		rw.WriteHeader(status)
+	}))
+	defer srv.Close()
+	tgt := &httpTarget{base: srv.URL, client: srv.Client(), w: w}
+
+	cases := []struct {
+		status  int
+		cached  string
+		outcome int
+		hit     bool
+	}{
+		{http.StatusOK, "true", outDelivered, true},
+		{http.StatusOK, "false", outDelivered, false},
+		{http.StatusServiceUnavailable, "", outShed, false},
+		{http.StatusGatewayTimeout, "", outCancelled, false},
+		{http.StatusInternalServerError, "", outFailed, false},
+	}
+	for _, c := range cases {
+		status, cached = c.status, c.cached
+		s := tgt.do(context.Background(), reqSpec{})
+		if s.outcome != c.outcome || s.cached != c.hit {
+			t.Errorf("status %d: outcome %d cached %v, want %d %v",
+				c.status, s.outcome, s.cached, c.outcome, c.hit)
+		}
+	}
+
+	// A transport-level failure is outFailed, not a crash.
+	srv.Close()
+	if s := tgt.do(context.Background(), reqSpec{}); s.outcome != outFailed {
+		t.Errorf("closed server: outcome %d, want outFailed", s.outcome)
+	}
+}
+
+// TestRunWritesReport is the end-to-end check: a short in-process sweep
+// over three offered-load points lands in a parseable BENCH_serve.json
+// with the full latency/shed/goodput surface and the overhead probe.
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	o := options{
+		out:          out,
+		rps:          "80,160,240",
+		duration:     120 * time.Millisecond,
+		arrivals:     "poisson",
+		seed:         1,
+		templates:    4,
+		joins:        2,
+		joinsSpread:  1,
+		zipfS:        1.3,
+		deadlineFrac: 0.2,
+		deadline:     200 * time.Millisecond,
+		sites:        8,
+		eps:          0.5,
+		f:            0.7,
+		maxInFlight:  4,
+		maxBatch:     4,
+		batchWindow:  time.Millisecond,
+		cacheSize:    16,
+		overheadReqs: 4,
+	}
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid report JSON: %v", err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points: %d, want 3", len(rep.Points))
+	}
+	for i, pt := range rep.Points {
+		if pt.Sent <= 0 {
+			t.Fatalf("point %d sent nothing: %+v", i, pt)
+		}
+		if got := pt.Delivered + pt.Shed + pt.Cancelled + pt.Failed; got != pt.Sent {
+			t.Fatalf("point %d outcome classes sum to %d, sent %d", i, got, pt.Sent)
+		}
+		if pt.Delivered > 0 && (pt.Latency.P50 <= 0 || pt.Latency.P99 < pt.Latency.P50 ||
+			pt.Latency.P999 < pt.Latency.P99) {
+			t.Fatalf("point %d latency not ordered: %+v", i, pt.Latency)
+		}
+		if pt.GoodputRPS < 0 || pt.ShedRate < 0 || pt.ShedRate > 1 {
+			t.Fatalf("point %d rates: %+v", i, pt)
+		}
+	}
+	if rep.Config.Target != "inproc" || rep.Config.CacheSize != 16 {
+		t.Fatalf("config echo: %+v", rep.Config)
+	}
+	if rep.Overhead == nil || rep.Overhead.Requests != 4*4 {
+		t.Fatalf("overhead probe: %+v", rep.Overhead)
+	}
+	if rep.Overhead.ScheduleUs <= 0 || rep.Overhead.RequestUsMean <= 0 {
+		t.Fatalf("overhead timings: %+v", rep.Overhead)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	base := options{out: filepath.Join(t.TempDir(), "x.json"), rps: "10",
+		duration: time.Millisecond, arrivals: "poisson", templates: 1, joins: 2,
+		sites: 8, eps: 0.5, f: 0.7}
+	bad := base
+	bad.arrivals = "bursty"
+	if err := run(bad, io.Discard); err == nil {
+		t.Error("-arrivals bursty accepted")
+	}
+	bad = base
+	bad.rps = "0"
+	if err := run(bad, io.Discard); err == nil {
+		t.Error("-rps 0 accepted")
+	}
+	bad = base
+	bad.duration = 0
+	if err := run(bad, io.Discard); err == nil {
+		t.Error("-duration 0 accepted")
+	}
+	bad = base
+	bad.templates = 0
+	if err := run(bad, io.Discard); err == nil {
+		t.Error("-templates 0 accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// An oversized /schedule body is answered with 413, and the cap is
+// flag-tunable: the same plan passes a generous limit and trips a tiny
+// one. maxBody <= 0 falls back to the built-in default.
+func TestScheduleEndpointRejectsOversizedBody(t *testing.T) {
+	plan := encodePlan(t, 7, 5)
+
+	small := testOptions()
+	small.maxBody = 64 // any real plan is larger
+	h, met := newTestHandler(t, small)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(plan)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", rec.Code)
+	}
+	// The request never reached the service: not a serve.request, not an
+	// invalid plan — the transport layer stopped it.
+	cs := met.Snapshot().Counters
+	if cs["serve.requests"] != 0 || cs["serve.invalid"] != 0 {
+		t.Fatalf("oversized body leaked into service counters: %v", cs)
+	}
+
+	generous := testOptions()
+	generous.maxBody = int64(len(plan)) + 1
+	h, _ = newTestHandler(t, generous)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(plan)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("body within cap: status %d, want 200", rec.Code)
+	}
+
+	fallback := testOptions() // maxBody 0 → defaultMaxBody
+	h, _ = newTestHandler(t, fallback)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(plan)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default cap: status %d, want 200", rec.Code)
+	}
+}
+
+// Malformed plans are counted as serve.invalid without inflating
+// serve.requests, so HTTP-layer garbage never skews the goodput
+// denominator /metricz consumers compute.
+func TestInvalidPlanCountsSeparately(t *testing.T) {
+	h, met := newTestHandler(t, testOptions())
+
+	// A decodable-but-invalid plan is rejected at the HTTP layer before
+	// the service ever sees it: 400, and no serve.* counter moves.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader([]byte(`{}`))))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty plan: status %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/schedule", bytes.NewReader(encodePlan(t, 5, 4))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("valid plan: status %d", rec.Code)
+	}
+
+	cs := met.Snapshot().Counters
+	if cs["serve.requests"] != 1 || cs["serve.delivered"] != 1 {
+		t.Fatalf("valid request miscounted: %v", cs)
+	}
+}

@@ -27,15 +27,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,7 +55,13 @@ type options struct {
 	soloMargin  time.Duration
 	cacheSize   int
 	workers     int
+	maxBody     int64
 }
+
+// defaultMaxBody caps the /schedule request body when -max-body is
+// unset: 4 MiB holds a plan of tens of thousands of joins while keeping
+// a single oversized (or malicious) POST from ballooning the heap.
+const defaultMaxBody = 4 << 20
 
 func main() {
 	var o options
@@ -69,15 +76,18 @@ func main() {
 	flag.DurationVar(&o.soloMargin, "solo-margin", 0, "deadlines nearer than this skip batching (0 = 4x window)")
 	flag.IntVar(&o.cacheSize, "cache", 0, "plan-fingerprint schedule cache size in schedules (0 = disabled)")
 	flag.IntVar(&o.workers, "sched-workers", 0, "per-request scheduler worker pool width; 0 = GOMAXPROCS, 1 = serial (bounds scheduler goroutines at max-inflight x workers)")
+	flag.Int64Var(&o.maxBody, "max-body", defaultMaxBody, "maximum /schedule request body bytes (oversized POSTs get 413)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
+	stopDebug := func(context.Context) error { return nil }
 	if *debugAddr != "" {
-		addr, err := mdrs.ServeDebug(*debugAddr)
+		addr, stop, err := mdrs.StartDebug(*debugAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mdrs-serve: %v\n", err)
 			os.Exit(1)
 		}
+		stopDebug = stop
 		fmt.Fprintf(os.Stderr, "mdrs-serve: debug server on http://%s/debug/pprof/\n", addr)
 	}
 
@@ -89,7 +99,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: o.addr, Handler: newHandler(svc, met)}
+	// Connection-level timeouts close the slowloris hole: a client that
+	// trickles header bytes (ReadHeaderTimeout), dribbles its body
+	// (ReadTimeout), or parks idle keep-alive connections (IdleTimeout)
+	// cannot pin server goroutines and file descriptors indefinitely.
+	// WriteTimeout stays generous — a schedule of a large plan under a
+	// saturated service can legitimately take a while to come back.
+	srv := &http.Server{
+		Addr:              o.addr,
+		Handler:           newHandler(svc, met, o.maxBody),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
@@ -99,16 +122,23 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		// Stop accepting connections, let in-flight requests finish, then
-		// drain the scheduling service.
+		// Stop accepting connections, let in-flight requests finish,
+		// drain the scheduling service, and take the debug listener down
+		// with us — it must not outlive the service it observes.
 		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrs-serve: shutdown: %v\n", err)
 		}
 		svc.Close()
+		if err := stopDebug(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-serve: debug shutdown: %v\n", err)
+		}
 	case err := <-errCh:
 		svc.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		stopDebug(sctx) //nolint:errcheck // already failing
 		fmt.Fprintf(os.Stderr, "mdrs-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -150,9 +180,19 @@ func newService(o options, rec mdrs.Recorder) (*mdrs.SchedulingService, error) {
 	})
 }
 
+// bodyPool recycles request-body read buffers across /schedule
+// requests: the handler's per-request garbage is one decode's worth of
+// plan nodes, not a fresh multi-KiB byte slice per POST.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // newHandler routes the service's HTTP surface; split from main so the
-// tests can drive it through httptest without a listener.
-func newHandler(svc *mdrs.SchedulingService, met *mdrs.Metrics) http.Handler {
+// tests can drive it through httptest without a listener. maxBody caps
+// the /schedule request body (<= 0 falls back to the default): a single
+// oversized POST is answered with 413, never buffered whole.
+func newHandler(svc *mdrs.SchedulingService, met *mdrs.Metrics, maxBody int64) http.Handler {
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -160,12 +200,20 @@ func newHandler(svc *mdrs.SchedulingService, met *mdrs.Metrics) http.Handler {
 			http.Error(w, "POST a plan JSON body", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(r.Body)
-		if err != nil {
+		body := bodyPool.Get().(*bytes.Buffer)
+		body.Reset()
+		defer bodyPool.Put(body)
+		if _, err := body.ReadFrom(http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxBody),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		p, err := mdrs.DecodePlan(body)
+		p, err := mdrs.DecodePlan(body.Bytes())
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return

@@ -32,7 +32,7 @@ func newTestHandler(t *testing.T, o options) (http.Handler, *mdrs.Metrics) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { svc.Close() })
-	return newHandler(svc, met), met
+	return newHandler(svc, met, o.maxBody), met
 }
 
 func testOptions() options {

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // ServeDebug starts an HTTP server on addr exposing the stdlib
@@ -16,9 +18,20 @@ import (
 // of http.DefaultServeMux so importing this package never mutates
 // global handler state.
 func ServeDebug(addr string) (string, error) {
+	bound, _, err := StartDebug(addr)
+	return bound, err
+}
+
+// StartDebug is ServeDebug with a shutdown handle: the returned stop
+// function gracefully drains the debug server (long-running servers
+// call it on SIGTERM so the diagnostics listener does not outlive the
+// service it observes). The debug surface is read-only diagnostics, so
+// its ReadHeaderTimeout guards against idle connection exhaustion
+// without limiting a long pprof profile stream.
+func StartDebug(addr string) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -27,9 +40,13 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go srv.Serve(ln) //nolint:errcheck // best-effort debug endpoint
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), srv.Shutdown, nil
 }
 
 // PublishExpvar exposes the Metrics snapshot as an expvar variable, so

@@ -17,15 +17,35 @@
 // companions sharing its window, so only the batch-independent
 // singleton form is deterministic per fingerprint and safe to replay to
 // future requests.
+//
+// Concurrency. The cache is sharded by fingerprint prefix: each of the
+// cacheShards shards owns its slice of the key space (entries, LRU
+// recency list, and singleflight flights) under its own mutex, so
+// concurrent requests for different plans never serialize on one lock —
+// the hot path (hit, or joining a flight) takes exactly one shard
+// mutex. Only capacity accounting is global: a monotonically increasing
+// touch stamp orders entries across shards, and eviction removes the
+// entry with the globally smallest stamp (each shard's LRU tail is its
+// oldest entry, so the global victim is the min-stamp tail). Eviction
+// walks every shard, but it only runs when the cache is past capacity —
+// the steady-state hot path never pays for it.
 package serve
 
 import (
 	"container/list"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"mdrs/internal/plan"
 	"mdrs/internal/sched"
 )
+
+// cacheShards is the number of independent cache shards. A power of two
+// so the fingerprint prefix maps to a shard with one mask; 16 shards
+// keep the per-shard mutex essentially uncontended at the service's
+// MaxInFlight scales while costing four words of fixed overhead each.
+const cacheShards = 16
 
 // flight is one in-progress computation of a fingerprint's schedule.
 // The leader closes done after filling s or err; followers wait.
@@ -36,35 +56,59 @@ type flight struct {
 	err  error
 }
 
-// schedCache is the bounded LRU plus the singleflight table. A nil
-// *schedCache (caching disabled) is inert: get misses, flightFor
-// declines leadership.
-type schedCache struct {
-	mu      sync.Mutex
-	cap     int
-	lru     *list.List // front = most recently used; values are *cacheEntry
-	entries map[sched.Fingerprint]*list.Element
-	flights map[sched.Fingerprint]*flight
+// cacheEntry pairs a fingerprint with its schedule and the tree it was
+// computed from. group is the ready-made singleton Result.Group shared
+// by every hit — immutable, so handing one slice to all readers is
+// safe and saves an allocation per hit.
+type cacheEntry struct {
+	fp    sched.Fingerprint
+	s     *sched.Schedule
+	tree  *plan.TaskTree
+	group []*plan.TaskTree
+	// stamp is the entry's last-touch tick of the cache's global clock,
+	// written under the owning shard's mutex. Shard LRU order and stamp
+	// order coincide, so each shard's tail holds its smallest stamp.
+	stamp uint64
 }
 
-// cacheEntry pairs a fingerprint with its schedule and the tree it was
-// computed from (returned as the Result.Group of every hit).
-type cacheEntry struct {
-	fp   sched.Fingerprint
-	s    *sched.Schedule
-	tree *plan.TaskTree
+// cacheShard is one lock domain: the entries and in-flight computations
+// of one slice of the fingerprint space.
+type cacheShard struct {
+	mu        sync.Mutex
+	lru       *list.List // front = most recently used; values are *cacheEntry
+	entries   map[sched.Fingerprint]*list.Element
+	flights   map[sched.Fingerprint]*flight
+	evictions int64
+}
+
+// schedCache is the sharded bounded LRU plus the singleflight table. A
+// nil *schedCache (caching disabled) is inert: get misses, flightFor
+// declines leadership.
+type schedCache struct {
+	cap    int
+	size   atomic.Int64  // total entries across shards
+	clock  atomic.Uint64 // global touch stamp source
+	shards [cacheShards]cacheShard
 }
 
 func newSchedCache(capacity int) *schedCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &schedCache{
-		cap:     capacity,
-		lru:     list.New(),
-		entries: make(map[sched.Fingerprint]*list.Element, capacity),
-		flights: make(map[sched.Fingerprint]*flight),
+	c := &schedCache{cap: capacity}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].entries = make(map[sched.Fingerprint]*list.Element)
+		c.shards[i].flights = make(map[sched.Fingerprint]*flight)
 	}
+	return c
+}
+
+// shard maps a fingerprint to its lock domain by prefix. The
+// fingerprint is a SHA-256 digest, so the first byte is already
+// uniformly distributed — no re-hashing needed.
+func (c *schedCache) shard(fp sched.Fingerprint) *cacheShard {
+	return &c.shards[int(fp[0])&(cacheShards-1)]
 }
 
 // get returns the cached entry and marks it most recently used.
@@ -72,59 +116,142 @@ func (c *schedCache) get(fp sched.Fingerprint) *cacheEntry {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[fp]
+	sh := c.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[fp]
 	if !ok {
 		return nil
 	}
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry)
+	e := el.Value.(*cacheEntry)
+	e.stamp = c.clock.Add(1)
+	sh.lru.MoveToFront(el)
+	return e
 }
 
-// put inserts a completed schedule, evicting from the LRU tail past
-// capacity. Reports the number of evictions (0 or 1).
+// put inserts a completed schedule, evicting globally-least-recently
+// used entries past capacity. Reports the number of evictions.
 func (c *schedCache) put(fp sched.Fingerprint, s *sched.Schedule, tree *plan.TaskTree) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[fp]; ok {
+	sh := c.shard(fp)
+	sh.mu.Lock()
+	if el, ok := sh.entries[fp]; ok {
 		// A racing leader already filled it; keep the existing entry
 		// (byte-identical by the fingerprint invariant).
-		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).stamp = c.clock.Add(1)
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
 		return 0
 	}
-	c.entries[fp] = c.lru.PushFront(&cacheEntry{fp: fp, s: s, tree: tree})
+	e := &cacheEntry{
+		fp: fp, s: s, tree: tree,
+		group: []*plan.TaskTree{tree},
+		stamp: c.clock.Add(1),
+	}
+	sh.entries[fp] = sh.lru.PushFront(e)
+	sh.mu.Unlock()
+
 	evicted := 0
-	for c.lru.Len() > c.cap {
-		tail := c.lru.Back()
-		c.lru.Remove(tail)
-		delete(c.entries, tail.Value.(*cacheEntry).fp)
+	for n := c.size.Add(1); n > int64(c.cap); n = c.size.Load() {
+		if !c.evictOne() {
+			break
+		}
 		evicted++
 	}
 	return evicted
 }
 
-// Len reports the number of cached schedules.
+// evictOne removes the entry with the globally smallest touch stamp:
+// each shard's LRU tail is its oldest entry, so the global victim is
+// the minimum over tails. Shards are locked one at a time — eviction
+// tolerates a concurrent touch promoting the candidate (the entry
+// evicted is then merely approximately oldest, which is all an LRU
+// promises under concurrency; with no concurrent touches the choice is
+// exact). Reports false when every shard is empty.
+func (c *schedCache) evictOne() bool {
+	victim := -1
+	var oldest uint64 = math.MaxUint64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if tail := sh.lru.Back(); tail != nil {
+			if st := tail.Value.(*cacheEntry).stamp; st <= oldest {
+				oldest = st
+				victim = i
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if victim < 0 {
+		return false
+	}
+	sh := &c.shards[victim]
+	sh.mu.Lock()
+	tail := sh.lru.Back()
+	if tail == nil {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.lru.Remove(tail)
+	delete(sh.entries, tail.Value.(*cacheEntry).fp)
+	sh.evictions++
+	sh.mu.Unlock()
+	c.size.Add(-1)
+	return true
+}
+
+// Len reports the number of cached schedules across all shards.
 func (c *schedCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	return int(c.size.Load())
+}
+
+// shardLens reports each shard's entry count, for the distribution
+// tests and debugging.
+func (c *schedCache) shardLens() []int {
+	if c == nil {
+		return nil
+	}
+	lens := make([]int, cacheShards)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		lens[i] = sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return lens
+}
+
+// evictionCount reports the total evictions across all shards (the
+// sharded accounting the serve.cache_evictions counter is checked
+// against in tests).
+func (c *schedCache) evictionCount() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.evictions
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // flightFor joins or starts the fingerprint's flight. leader is true
 // when the caller must compute the schedule and then resolve the
 // flight; otherwise the caller waits on the returned flight's done.
 func (c *schedCache) flightFor(fp sched.Fingerprint) (fl *flight, leader bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if fl, ok := c.flights[fp]; ok {
+	sh := c.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if fl, ok := sh.flights[fp]; ok {
 		return fl, false
 	}
 	fl = &flight{done: make(chan struct{})}
-	c.flights[fp] = fl
+	sh.flights[fp] = fl
 	return fl, true
 }
 
@@ -133,9 +260,10 @@ func (c *schedCache) flightFor(fp sched.Fingerprint) (fl *flight, leader bool) {
 // fresh (after checking the LRU, which resolve's caller fills first on
 // success).
 func (c *schedCache) resolve(fp sched.Fingerprint, fl *flight, s *sched.Schedule, tree *plan.TaskTree, err error) {
-	c.mu.Lock()
-	delete(c.flights, fp)
-	c.mu.Unlock()
+	sh := c.shard(fp)
+	sh.mu.Lock()
+	delete(sh.flights, fp)
+	sh.mu.Unlock()
 	fl.s, fl.tree, fl.err = s, tree, err
 	close(fl.done)
 }

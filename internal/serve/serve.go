@@ -107,12 +107,19 @@ type Config struct {
 	// path.
 	CacheSize int
 
-	// Rec, when non-nil, receives the service's counters and histograms:
-	// serve.requests / serve.rejected / serve.cancelled counters,
-	// serve.queue_depth and serve.inflight gauges (sampled as histogram
-	// observations), serve.batch_size per dispatched group, and
-	// serve.request_seconds per finished request. Nil disables all
-	// recording.
+	// Rec, when non-nil, receives the service's counters and histograms.
+	// Every submission is classified exactly once: serve.invalid counts
+	// nil or malformed trees (rejected before admission), and every
+	// valid request lands in exactly one of serve.delivered,
+	// serve.rejected (shed by admission control), serve.cancelled (the
+	// caller's context died), serve.closed_rejects (submitted to a
+	// closing service), or serve.failed (a scheduling error), so
+	// serve.requests = delivered + rejected + cancelled + closed_rejects
+	// + failed holds at quiescence — the arithmetic goodput is computed
+	// against. serve.queue_depth and serve.inflight gauges are sampled
+	// as histogram observations, serve.batch_size per dispatched group,
+	// and serve.request_seconds per finished valid request. Nil disables
+	// all recording.
 	Rec obs.Recorder
 }
 
@@ -170,18 +177,53 @@ type Result struct {
 }
 
 // request is one in-flight unit: a tree, its caller's context, and the
-// channel its response is delivered on.
+// channel its response is delivered on. Requests are pooled: the
+// deliverer and the awaiter each hold one reference, and whoever drops
+// the last one recycles the struct (and its channel) for the next
+// request — the serve hot path allocates no request state at steady
+// load.
 type request struct {
 	ctx   context.Context
 	tree  *plan.TaskTree
 	resCh chan response // buffered(1); exactly one deliver per request
 	start time.Time
 	solo  bool
+	refs  atomic.Int32 // pool references: deliverer + awaiter
 }
 
 type response struct {
 	res *Result
 	err error
+}
+
+// requestPool recycles request structs (including their buffered
+// response channels) across the service's lifetime.
+var requestPool = sync.Pool{
+	New: func() any { return &request{resCh: make(chan response, 1)} },
+}
+
+// newRequest draws a request from the pool with two references: one
+// for the deliverer (the group runner), one for the awaiter.
+func newRequest(ctx context.Context, tree *plan.TaskTree) *request {
+	r := requestPool.Get().(*request)
+	r.ctx, r.tree, r.start, r.solo = ctx, tree, time.Now(), false
+	r.refs.Store(2)
+	return r
+}
+
+// unref drops one reference; the last holder recycles the request. An
+// awaiter that left on ctx.Done never received the deliverer's
+// response, so the channel is drained before reuse.
+func (r *request) unref() {
+	if r.refs.Add(-1) != 0 {
+		return
+	}
+	select {
+	case <-r.resCh:
+	default:
+	}
+	r.ctx, r.tree = nil, nil
+	requestPool.Put(r)
 }
 
 // Service is the concurrent scheduling service. Construct with New;
@@ -267,18 +309,48 @@ func (s *Service) CacheLen() int { return s.cache.Len() }
 // the batching path.
 func (s *Service) Schedule(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
 	rec := s.cfg.Rec
-	obs.Count(rec, "serve.requests", 1)
-	if tree == nil {
-		return nil, fmt.Errorf("serve: nil task tree")
-	}
 	// Reject malformed trees at the door: inside a group a bad tree
 	// would fail the whole ScheduleBatch call and take its innocent
-	// batch-mates down with it.
+	// batch-mates down with it. Invalid submissions are counted
+	// separately and do NOT increment serve.requests — otherwise
+	// malformed traffic would inflate the request rate goodput is
+	// computed against.
+	if tree == nil {
+		obs.Count(rec, "serve.invalid", 1)
+		return nil, fmt.Errorf("serve: nil task tree")
+	}
 	if err := tree.Validate(); err != nil {
+		obs.Count(rec, "serve.invalid", 1)
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	if err := ctx.Err(); err != nil {
+	obs.Count(rec, "serve.requests", 1)
+	start := time.Now()
+	res, err := s.scheduleValid(ctx, tree)
+	// Classify the outcome exactly once, here, so the counter
+	// arithmetic requests = delivered + rejected + cancelled +
+	// closed_rejects + failed holds at quiescence no matter which
+	// internal path (cached, batched, solo, coalesced) served the
+	// request.
+	switch {
+	case err == nil:
+		obs.Count(rec, "serve.delivered", 1)
+	case errors.Is(err, ErrOverloaded):
+		obs.Count(rec, "serve.rejected", 1)
+	case errors.Is(err, ErrClosed):
+		obs.Count(rec, "serve.closed_rejects", 1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		obs.Count(rec, "serve.cancelled", 1)
+	default:
+		obs.Count(rec, "serve.failed", 1)
+	}
+	obs.Observe(rec, "serve.request_seconds", time.Since(start).Seconds())
+	return res, err
+}
+
+// scheduleValid routes an already-validated request down the cached or
+// batched path.
+func (s *Service) scheduleValid(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if s.cache != nil {
@@ -303,7 +375,7 @@ func (s *Service) scheduleCached(ctx context.Context, tree *plan.TaskTree) (*Res
 			obs.Count(rec, "serve.cache_hits", 1)
 			return &Result{
 				Schedule: e.s,
-				Group:    []*plan.TaskTree{e.tree},
+				Group:    e.group, // shared immutable singleton group
 				Cached:   true,
 				Wait:     time.Since(start),
 			}, nil
@@ -335,16 +407,20 @@ func (s *Service) scheduleCached(ctx context.Context, tree *plan.TaskTree) (*Res
 					Wait:     time.Since(start),
 				}, nil
 			}
-			if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
-				// The leader's own context died, which says nothing about
-				// this request; loop and race to become the next leader.
+			if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) ||
+				errors.Is(fl.err, ErrOverloaded) {
+				// The leader's own context died or the leader itself was
+				// shed by admission control — neither says anything about
+				// this request, which held no admission resources while
+				// coalesced. Loop and race to become the next leader (the
+				// follower's own admission attempt decides its fate);
+				// ctx.Done below bounds the retries.
 				continue
 			}
-			// Service-level failures (overload, closed, a scheduling
-			// error for this plan shape) apply to the followers too.
+			// Service-level failures (closed, a scheduling error for this
+			// plan shape) apply to the followers too.
 			return nil, fl.err
 		case <-ctx.Done():
-			obs.Count(rec, "serve.cancelled", 1)
 			return nil, ctx.Err()
 		}
 	}
@@ -357,12 +433,7 @@ func (s *Service) scheduleSingleton(ctx context.Context, tree *plan.TaskTree) (*
 	if err := s.admit(ctx); err != nil {
 		return nil, err
 	}
-	r := &request{
-		ctx:   ctx,
-		tree:  tree,
-		resCh: make(chan response, 1),
-		start: time.Now(),
-	}
+	r := newRequest(ctx, tree)
 	obs.Observe(rec, "serve.inflight", float64(s.inflight.Add(1)))
 	if !s.spawnGroup([]*request{r}) {
 		// The service is closing but this request is already admitted;
@@ -380,13 +451,18 @@ func (s *Service) scheduleBatched(ctx context.Context, tree *plan.TaskTree) (*Re
 		return nil, err
 	}
 
-	r := &request{
-		ctx:   ctx,
-		tree:  tree,
-		resCh: make(chan response, 1),
-		start: time.Now(),
-	}
+	r := newRequest(ctx, tree)
 	obs.Observe(rec, "serve.inflight", float64(s.inflight.Add(1)))
+
+	// With MaxBatch 1 grouping is impossible, so the collector and a
+	// spawned runner would add nothing but goroutine handoffs (two
+	// context switches per request): run the group of one on the
+	// caller's own goroutine. The buffered response channel makes the
+	// deliver-then-await sequence safe on a single goroutine.
+	if s.cfg.MaxBatch == 1 {
+		s.runGroup([]*request{r})
+		return s.await(ctx, r)
+	}
 
 	// Deadline-aware degradation: a request that cannot afford the
 	// batching window goes solo, straight past the collector.
@@ -408,6 +484,10 @@ func (s *Service) scheduleBatched(ctx context.Context, tree *plan.TaskTree) (*Re
 		if s.closed {
 			s.mu.Unlock()
 			s.release(r)
+			// Nobody else ever saw this request; drop both references
+			// and recycle it directly.
+			r.refs.Store(1)
+			r.unref()
 			return nil, ErrClosed
 		}
 		s.pending <- r
@@ -444,13 +524,11 @@ func (s *Service) admit(ctx context.Context) error {
 			<-s.waiters
 			if !admitted {
 				if err := ctx.Err(); err != nil {
-					obs.Count(rec, "serve.cancelled", 1)
 					return err
 				}
 				return ErrClosed
 			}
 		default:
-			obs.Count(rec, "serve.rejected", 1)
 			return ErrOverloaded
 		}
 	}
@@ -460,20 +538,18 @@ func (s *Service) admit(ctx context.Context) error {
 // await blocks until the request's response arrives or its context
 // dies. The response channel is buffered and written exactly once, so
 // an early ctx return never blocks the group runner; the runner still
-// releases the request's token when the group completes.
+// releases the request's token when the group completes, and the last
+// reference holder recycles the request struct.
 func (s *Service) await(ctx context.Context, r *request) (*Result, error) {
-	rec := s.cfg.Rec
 	select {
 	case resp := <-r.resCh:
+		r.unref()
 		if resp.err != nil {
-			if errors.Is(resp.err, context.Canceled) || errors.Is(resp.err, context.DeadlineExceeded) {
-				obs.Count(rec, "serve.cancelled", 1)
-			}
 			return nil, resp.err
 		}
 		return resp.res, nil
 	case <-ctx.Done():
-		obs.Count(rec, "serve.cancelled", 1)
+		r.unref()
 		return nil, ctx.Err()
 	}
 }
@@ -653,12 +729,12 @@ func groupContext(group []*request) (context.Context, context.CancelFunc) {
 }
 
 // deliver hands the response to the waiting Schedule call (non-blocking:
-// the channel is buffered and written exactly once) and releases the
-// request's in-flight token.
+// the channel is buffered and written exactly once), releases the
+// request's in-flight token, and drops the deliverer's pool reference.
 func (s *Service) deliver(r *request, resp response) {
 	r.resCh <- resp
-	obs.Observe(s.cfg.Rec, "serve.request_seconds", time.Since(r.start).Seconds())
 	s.release(r)
+	r.unref()
 }
 
 // release returns the request's admission token.

@@ -429,6 +429,13 @@ func TraceAssignments(events []TraceEvent) map[PlaceKey]int { return obs.TraceAs
 // address (useful with ":0").
 func ServeDebug(addr string) (string, error) { return obs.ServeDebug(addr) }
 
+// StartDebug is ServeDebug with a graceful-shutdown handle: the
+// returned stop function drains the debug server, so long-running
+// commands can take the diagnostics listener down on SIGTERM.
+func StartDebug(addr string) (string, func(context.Context) error, error) {
+	return obs.StartDebug(addr)
+}
+
 // PublishExpvar exposes a Metrics recorder's live snapshot as the named
 // expvar, visible at /debug/vars on the ServeDebug server.
 func PublishExpvar(name string, m *Metrics) { obs.PublishExpvar(name, m) }
