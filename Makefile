@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race bench bench-placement bench-cache bench-parallel bench-serve figures trace-demo
+.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race adaptive-race bench bench-placement bench-cache bench-parallel bench-serve bench-adaptive figures trace-demo
 
-check: build vet race obs-race serve-race cache-race par-race loadgen-race
+check: build vet race obs-race serve-race cache-race par-race loadgen-race adaptive-race
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,14 @@ loadgen-race:
 	$(GO) test -race -count=1 ./cmd/mdrs-loadgen
 	$(GO) test -race -count=1 -run 'Hammer|Counter|Shard|Follower|Oversized' ./internal/serve ./cmd/mdrs-serve
 
+# The adaptive-controller gate: the controller-off invariance tests
+# (knobs never move, schedules byte-identical to a controller-free
+# build), the MaxDegree fingerprint/cache-staleness tests, and the knob
+# hammer racing live retunes against concurrent Schedule/Close — fresh
+# under the race detector.
+adaptive-race:
+	$(GO) test -race -count=1 -run 'Controller|MaxDegree|Knob|Tuning|RetryAfter|SoloMargin|Closing|Degree' ./internal/serve ./internal/sched ./internal/costmodel ./cmd/mdrs-serve
+
 # Placement micro-benchmark tracked in BENCH_sched.json.
 bench-placement:
 	$(GO) test ./internal/sched -run '^$$' -bench BenchmarkOperatorSchedulePlacement -benchmem
@@ -75,6 +83,17 @@ bench-parallel:
 # serve-layer overhead vs pure schedule time.
 bench-serve:
 	$(GO) run ./cmd/mdrs-loadgen -rps 50,200,800 -duration 5s -out BENCH_serve.json
+
+# Regenerate BENCH_adaptive.json: the same open-loop sweep run twice
+# against fresh in-process services — adaptive controller off, then on —
+# at three steady offered-load points plus a ramp to the peak rate, so
+# the on/off goodput and shed curves (and the controller's transient
+# response to the ramp) are directly comparable.
+# Cache off + a wide template population so every request pays real
+# scheduling work — with a warm schedule cache the controller has
+# nothing to trade and the curves tie.
+bench-adaptive:
+	$(GO) run ./cmd/mdrs-loadgen -compare-controller -cache 0 -templates 512 -joins 6 -sites 128 -rps 50,200,800 -duration 5s -out BENCH_adaptive.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -46,12 +47,18 @@ type reqSpec struct {
 	deadline time.Duration // 0 = no deadline
 }
 
-// sample is one completed request's measurement.
+// sample is one completed request's measurement. retryAfter is the
+// server's backoff hint on a shed response (0 = none): the generator
+// records it — reported per point as RetryAfterMeanSec — but never
+// obeys it, because the arrival process is open-loop by contract; a
+// generator that backed off when told to would let the server throttle
+// its own offered load and hide the very overload the curve measures.
 type sample struct {
-	latency  time.Duration
-	outcome  int
-	cached   bool
-	deadline bool
+	latency    time.Duration
+	outcome    int
+	cached     bool
+	deadline   bool
+	retryAfter time.Duration
 }
 
 // workload is the plan population requests are drawn from: templates
@@ -149,6 +156,7 @@ func (t *inprocTarget) do(ctx context.Context, spec reqSpec) sample {
 		s.cached = res.Cached
 	case errors.Is(err, mdrs.ErrOverloaded):
 		s.outcome = outShed
+		s.retryAfter = t.svc.RetryAfter()
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.outcome = outCancelled
 	default:
@@ -199,6 +207,9 @@ func (t *httpTarget) do(ctx context.Context, spec reqSpec) sample {
 		s.cached = resp.Header.Get("X-Mdrs-Cached") == "true"
 	case http.StatusServiceUnavailable:
 		s.outcome = outShed
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			s.retryAfter = time.Duration(secs) * time.Second
+		}
 	case http.StatusGatewayTimeout:
 		s.outcome = outCancelled
 	default:
@@ -213,6 +224,8 @@ type aggregator struct {
 	latencies []time.Duration // delivered requests only
 	counts    [outClasses]int
 	cached    int
+	retrySum  time.Duration // sum of shed responses' Retry-After hints
+	retryN    int
 }
 
 func (a *aggregator) record(s sample) {
@@ -223,6 +236,10 @@ func (a *aggregator) record(s sample) {
 		if s.cached {
 			a.cached++
 		}
+	}
+	if s.retryAfter > 0 {
+		a.retrySum += s.retryAfter
+		a.retryN++
 	}
 	a.mu.Unlock()
 }
@@ -292,6 +309,10 @@ type PointResult struct {
 	// (in-process target only; 0 over HTTP, where only the per-request
 	// cached bit is visible).
 	CoalesceRate float64 `json:"coalesce_rate"`
+	// RetryAfterMeanSec is the mean backoff hint carried by this point's
+	// shed responses, in seconds. Recorded, never obeyed: the arrival
+	// process is open-loop by contract.
+	RetryAfterMeanSec float64 `json:"retry_after_mean_sec,omitempty"`
 	// ServeOverheadFrac is (request_seconds − schedule_seconds) /
 	// schedule_seconds from the service's own histograms over this point
 	// (in-process target only). It includes queueing and window time, so
@@ -389,6 +410,9 @@ func runPoint(ctx context.Context, tgt target, w *workload, met *mdrs.Metrics,
 	if res.Delivered > 0 {
 		res.CacheHitRate = float64(agg.cached) / float64(res.Delivered)
 	}
+	if agg.retryN > 0 {
+		res.RetryAfterMeanSec = (agg.retrySum / time.Duration(agg.retryN)).Seconds()
+	}
 	if dr := after.requests - before.requests; dr > 0 {
 		res.CoalesceRate = float64(after.coalesced-before.coalesced) / float64(dr)
 	}
@@ -396,6 +420,125 @@ func runPoint(ctx context.Context, tgt target, w *workload, met *mdrs.Metrics,
 		res.ServeOverheadFrac = ((after.requestSec - before.requestSec) - ds) / ds
 	}
 	return res
+}
+
+// Load shapes: how the offered rate evolves over one shaped run.
+// steady is the classic fixed-rate point; ramp climbs linearly from a
+// fraction of the peak to the peak (does the controller track a rising
+// tide?); step holds a low rate then jumps to the peak at the midpoint
+// (how fast does the controller react to a cliff?).
+const (
+	shapeSteady = "steady"
+	shapeRamp   = "ramp"
+	shapeStep   = "step"
+)
+
+// shapeRate returns the instantaneous offered rate at elapsed fraction
+// frac of a shaped run with the given peak.
+func shapeRate(shape string, peak, frac float64) float64 {
+	switch shape {
+	case shapeRamp:
+		// Linear climb from 20% to 100% of peak.
+		return peak * (0.2 + 0.8*frac)
+	case shapeStep:
+		// Quarter rate until the midpoint, then the full peak.
+		if frac < 0.5 {
+			return peak / 4
+		}
+		return peak
+	default:
+		return peak
+	}
+}
+
+// runShaped drives one open-loop run whose offered rate follows the
+// shape over the full duration, attributing every request to the time
+// bucket its arrival lands in. Unlike running the buckets as separate
+// points, the dispatcher never drains between buckets — backlog built
+// during an early bucket carries into the next, which is exactly the
+// transient a ramp or step exists to measure. One PointResult is
+// returned per bucket; its OfferedRPS is the shape's rate at the
+// bucket's midpoint and the serve-side delta rates (coalesce, overhead)
+// are left zero, since the service's cumulative histograms cannot be
+// attributed to sub-run buckets.
+func runShaped(ctx context.Context, tgt target, w *workload, shape string, peak float64,
+	duration time.Duration, buckets int, poisson bool, r *rand.Rand) []PointResult {
+	if buckets < 1 {
+		buckets = 1
+	}
+	var (
+		aggs      = make([]aggregator, buckets)
+		sents     = make([]int, buckets)
+		wg        sync.WaitGroup
+		start     = time.Now()
+		next      = start
+		end       = start.Add(duration)
+		bucketDur = duration / time.Duration(buckets)
+	)
+	for {
+		now := time.Now()
+		if !now.Before(end) {
+			break
+		}
+		if next.After(now) {
+			time.Sleep(next.Sub(now))
+			if now = time.Now(); !now.Before(end) {
+				break
+			}
+		}
+		elapsed := now.Sub(start)
+		bucket := int(elapsed / bucketDur)
+		if bucket >= buckets {
+			bucket = buckets - 1
+		}
+		spec := w.draw(r)
+		sents[bucket]++
+		wg.Add(1)
+		go func(spec reqSpec, agg *aggregator) {
+			defer wg.Done()
+			agg.record(tgt.do(ctx, spec))
+		}(spec, &aggs[bucket])
+		rate := shapeRate(shape, peak, float64(elapsed)/float64(duration))
+		var gap time.Duration
+		if poisson {
+			gap = time.Duration(r.ExpFloat64() / rate * float64(time.Second))
+		} else {
+			gap = time.Duration(float64(time.Second) / rate)
+		}
+		next = next.Add(gap)
+	}
+	wg.Wait()
+
+	out := make([]PointResult, buckets)
+	for i := range out {
+		mid := (float64(i) + 0.5) / float64(buckets)
+		agg, secs := &aggs[i], bucketDur.Seconds()
+		pt := PointResult{
+			OfferedRPS:  shapeRate(shape, peak, mid),
+			DurationSec: secs,
+			Sent:        sents[i],
+			Delivered:   agg.counts[outDelivered],
+			Shed:        agg.counts[outShed],
+			Cancelled:   agg.counts[outCancelled],
+			Failed:      agg.counts[outFailed],
+			Latency:     latencyStats(agg.latencies),
+		}
+		if secs > 0 {
+			pt.AchievedRPS = float64(pt.Sent) / secs
+			pt.GoodputRPS = float64(pt.Delivered) / secs
+		}
+		if pt.Sent > 0 {
+			pt.ShedRate = float64(pt.Shed) / float64(pt.Sent)
+		}
+		if pt.Delivered > 0 {
+			pt.CacheHitRate = float64(agg.cached) / float64(pt.Delivered)
+		}
+		if agg.retryN > 0 {
+			pt.RetryAfterMeanSec = (agg.retrySum / time.Duration(agg.retryN)).Seconds()
+		}
+		out[i] = pt
+	}
+	return out
 }
 
 // OverheadResult is the saturation overhead probe: the service driven

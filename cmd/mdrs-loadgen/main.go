@@ -56,6 +56,11 @@ type options struct {
 	deadlineFrac float64
 	deadline     time.Duration
 
+	// Load shape: steady, ramp, or step, with the bucket count shaped
+	// runs report transient behavior at.
+	shape        string
+	shapeBuckets int
+
 	// In-process service shape (ignored with -target).
 	sites        int
 	eps, f       float64
@@ -65,6 +70,13 @@ type options struct {
 	batchWindow  time.Duration
 	cacheSize    int
 	schedWorkers int
+	maxDegree    int
+	controller   bool
+
+	// compareController runs the whole sweep twice against fresh
+	// in-process services — controller off, then on — and writes the
+	// paired curves (the BENCH_adaptive.json format).
+	compareController bool
 
 	// Saturation overhead probe (in-process only; 0 disables).
 	overheadReqs int
@@ -93,6 +105,11 @@ func parseFlags() options {
 	flag.DurationVar(&o.batchWindow, "batch-window", 2*time.Millisecond, "how long a group waits for companion queries")
 	flag.IntVar(&o.cacheSize, "cache", 256, "plan-fingerprint schedule cache size (0 = disabled)")
 	flag.IntVar(&o.schedWorkers, "sched-workers", 0, "per-request scheduler worker pool width (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxDegree, "max-degree", 0, "per-query parallelism cap on floating operators (0 = uncapped)")
+	flag.BoolVar(&o.controller, "controller", false, "enable the adaptive parallelism controller on the in-process service")
+	flag.StringVar(&o.shape, "shape", "steady", "load shape per point: steady, ramp (20%->100% of the rate), or step (25% then 100% at the midpoint)")
+	flag.IntVar(&o.shapeBuckets, "shape-buckets", 5, "time buckets a ramp/step run reports transient results at")
+	flag.BoolVar(&o.compareController, "compare-controller", false, "run the sweep twice (controller off, then on) against fresh in-process services and write paired curves")
 	flag.IntVar(&o.overheadReqs, "overhead-requests", 200, "requests per worker in the saturation overhead probe (0 = skip)")
 	flag.Parse()
 	return o
@@ -118,6 +135,9 @@ type reportConfig struct {
 	BatchWindowMs float64 `json:"batch_window_ms"`
 	CacheSize     int     `json:"cache_size"`
 	SchedWorkers  int     `json:"sched_workers"`
+	MaxDegree     int     `json:"max_degree,omitempty"`
+	Controller    bool    `json:"controller,omitempty"`
+	Shape         string  `json:"shape,omitempty"`
 }
 
 // report is the BENCH_serve.json document: configuration, one
@@ -154,6 +174,19 @@ func run(o options, errW io.Writer) error {
 	if o.duration <= 0 {
 		return fmt.Errorf("-duration must be positive, have %v", o.duration)
 	}
+	switch o.shape {
+	case "":
+		o.shape = shapeSteady // zero value (tests building options directly)
+	case shapeSteady, shapeRamp, shapeStep:
+	default:
+		return fmt.Errorf("unknown -shape %q (want steady, ramp, or step)", o.shape)
+	}
+	if o.compareController {
+		if o.target != "" {
+			return fmt.Errorf("-compare-controller needs the in-process target (it builds both services itself)")
+		}
+		return runCompare(o, rates, poisson, errW)
+	}
 
 	r := rand.New(rand.NewSource(o.seed))
 	w, err := newWorkload(r, o.templates, o.joins, o.joinsSpread, o.zipfS, o.deadlineFrac, o.deadline)
@@ -169,7 +202,7 @@ func run(o options, errW io.Writer) error {
 	if o.target == "" {
 		targetName = "inproc"
 		met = mdrs.NewMetrics()
-		svc, err := newService(o, met, o.maxBatch, o.batchWindow, o.cacheSize)
+		svc, err := newService(o, met, o.maxBatch, o.batchWindow, o.cacheSize, o.controller)
 		if err != nil {
 			return err
 		}
@@ -202,17 +235,26 @@ func run(o options, errW io.Writer) error {
 			BatchWindowMs: float64(o.batchWindow) / float64(time.Millisecond),
 			CacheSize:     o.cacheSize,
 			SchedWorkers:  o.schedWorkers,
+			MaxDegree:     o.maxDegree,
+			Controller:    o.controller,
+			Shape:         o.shape,
 		},
 	}
 
 	ctx := context.Background()
 	for _, rps := range rates {
-		pt := runPoint(ctx, tgt, w, met, rps, o.duration, poisson, r)
-		rep.Points = append(rep.Points, pt)
-		fmt.Fprintf(errW,
-			"mdrs-loadgen: %7.1f rps offered: goodput %7.1f/s, shed %5.1f%%, p50 %.2fms, p99 %.2fms, p999 %.2fms, cache %4.1f%%\n",
-			pt.OfferedRPS, pt.GoodputRPS, 100*pt.ShedRate,
-			pt.Latency.P50, pt.Latency.P99, pt.Latency.P999, 100*pt.CacheHitRate)
+		if o.shape == shapeSteady {
+			pt := runPoint(ctx, tgt, w, met, rps, o.duration, poisson, r)
+			rep.Points = append(rep.Points, pt)
+			logPoint(errW, pt)
+			continue
+		}
+		// A shaped run reports one transient bucket per time slice; each
+		// -rps entry is the shape's peak.
+		for _, pt := range runShaped(ctx, tgt, w, o.shape, rps, o.duration, o.shapeBuckets, poisson, r) {
+			rep.Points = append(rep.Points, pt)
+			logPoint(errW, pt)
+		}
 	}
 
 	// The overhead probe only makes sense against the in-process
@@ -224,7 +266,7 @@ func run(o options, errW io.Writer) error {
 			conc = runtime.GOMAXPROCS(0)
 		}
 		oh, err := measureOverhead(func(m *mdrs.Metrics) (*mdrs.SchedulingService, error) {
-			return newService(o, m, 1, 0, 0) // MaxBatch 1, no window, no cache
+			return newService(o, m, 1, 0, 0, false) // MaxBatch 1, no window, no cache, no controller
 		}, w.trees, conc, o.overheadReqs)
 		if err != nil {
 			return err
@@ -247,20 +289,22 @@ func run(o options, errW io.Writer) error {
 }
 
 // newService builds an in-process scheduling service with the run's
-// scheduler shape; batch/window/cache are parameters so the overhead
-// probe can strip them while keeping the same scheduler.
-func newService(o options, met *mdrs.Metrics, maxBatch int, window time.Duration, cacheSize int) (*mdrs.SchedulingService, error) {
+// scheduler shape; batch/window/cache/controller are parameters so the
+// overhead probe can strip them — and the comparison mode can flip the
+// controller — while keeping the same scheduler.
+func newService(o options, met *mdrs.Metrics, maxBatch int, window time.Duration, cacheSize int, controller bool) (*mdrs.SchedulingService, error) {
 	ov, err := mdrs.NewOverlap(o.eps)
 	if err != nil {
 		return nil, err
 	}
 	ts := mdrs.TreeScheduler{
-		Model:   mdrs.DefaultCostModel(),
-		Overlap: ov,
-		P:       o.sites,
-		F:       o.f,
-		Rec:     met,
-		Workers: o.schedWorkers,
+		Model:     mdrs.DefaultCostModel(),
+		Overlap:   ov,
+		P:         o.sites,
+		F:         o.f,
+		MaxDegree: o.maxDegree,
+		Rec:       met,
+		Workers:   o.schedWorkers,
 	}
 	if cacheSize > 0 {
 		ts.Cache = mdrs.NewCostCache(ts.Model)
@@ -272,8 +316,129 @@ func newService(o options, met *mdrs.Metrics, maxBatch int, window time.Duration
 		MaxBatch:    maxBatch,
 		BatchWindow: window,
 		CacheSize:   cacheSize,
+		Controller:  mdrs.ServeControllerConfig{Enable: controller, Source: met},
 		Rec:         met,
 	})
+}
+
+// logPoint prints one point's one-line summary to stderr.
+func logPoint(errW io.Writer, pt PointResult) {
+	fmt.Fprintf(errW,
+		"mdrs-loadgen: %7.1f rps offered: goodput %7.1f/s, shed %5.1f%%, p50 %.2fms, p99 %.2fms, p999 %.2fms, cache %4.1f%%\n",
+		pt.OfferedRPS, pt.GoodputRPS, 100*pt.ShedRate,
+		pt.Latency.P50, pt.Latency.P99, pt.Latency.P999, 100*pt.CacheHitRate)
+}
+
+// curve is one arm of the controller comparison: the steady
+// offered-load sweep plus one ramp run at the highest rate.
+type curve struct {
+	Controller bool          `json:"controller"`
+	Points     []PointResult `json:"points"`
+	Ramp       []PointResult `json:"ramp"`
+}
+
+// compareReport is the BENCH_adaptive.json document: the shared
+// configuration and the controller-off and controller-on curves.
+type compareReport struct {
+	Config reportConfig `json:"config"`
+	Off    curve        `json:"off"`
+	On     curve        `json:"on"`
+}
+
+// runCompare runs the same sweep twice — against a fresh in-process
+// service with the controller off, then on — and writes the paired
+// curves. Each arm reseeds the workload and arrival RNG from -seed, so
+// both services face an identical request sequence and the only
+// difference between the curves is the controller.
+func runCompare(o options, rates []float64, poisson bool, errW io.Writer) error {
+	rep := compareReport{
+		Config: reportConfig{
+			Target:        "inproc",
+			Arrivals:      o.arrivals,
+			Seed:          o.seed,
+			Templates:     o.templates,
+			Joins:         o.joins,
+			JoinsSpread:   o.joinsSpread,
+			ZipfS:         o.zipfS,
+			DeadlineFrac:  o.deadlineFrac,
+			DeadlineMs:    float64(o.deadline) / float64(time.Millisecond),
+			Sites:         o.sites,
+			Epsilon:       o.eps,
+			F:             o.f,
+			MaxInFlight:   o.maxInFlight,
+			MaxBatch:      o.maxBatch,
+			BatchWindowMs: float64(o.batchWindow) / float64(time.Millisecond),
+			CacheSize:     o.cacheSize,
+			SchedWorkers:  o.schedWorkers,
+			MaxDegree:     o.maxDegree,
+		},
+	}
+	for _, controller := range []bool{false, true} {
+		fmt.Fprintf(errW, "mdrs-loadgen: --- controller %v ---\n", onOff(controller))
+		c, err := runCurve(o, rates, poisson, controller, errW)
+		if err != nil {
+			return err
+		}
+		if controller {
+			rep.On = c
+		} else {
+			rep.Off = c
+		}
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(errW, "mdrs-loadgen: wrote controller on/off curves (%d steady points + %d ramp buckets each) to %s\n",
+		len(rep.Off.Points), len(rep.Off.Ramp), o.out)
+	return nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// runCurve runs one comparison arm: the steady sweep, then a ramp to
+// the highest offered rate to exercise the controller's transient
+// response.
+func runCurve(o options, rates []float64, poisson bool, controller bool, errW io.Writer) (curve, error) {
+	r := rand.New(rand.NewSource(o.seed))
+	w, err := newWorkload(r, o.templates, o.joins, o.joinsSpread, o.zipfS, o.deadlineFrac, o.deadline)
+	if err != nil {
+		return curve{}, err
+	}
+	met := mdrs.NewMetrics()
+	svc, err := newService(o, met, o.maxBatch, o.batchWindow, o.cacheSize, controller)
+	if err != nil {
+		return curve{}, err
+	}
+	defer svc.Close()
+	tgt := &inprocTarget{svc: svc, w: w}
+
+	c := curve{Controller: controller}
+	ctx := context.Background()
+	for _, rps := range rates {
+		pt := runPoint(ctx, tgt, w, met, rps, o.duration, poisson, r)
+		c.Points = append(c.Points, pt)
+		logPoint(errW, pt)
+	}
+	peak := rates[len(rates)-1]
+	for _, rate := range rates {
+		if rate > peak {
+			peak = rate
+		}
+	}
+	c.Ramp = runShaped(ctx, tgt, w, shapeRamp, peak, o.duration, o.shapeBuckets, poisson, r)
+	for _, pt := range c.Ramp {
+		logPoint(errW, pt)
+	}
+	return c, nil
 }
 
 // parseRates parses the -rps comma list into positive rates.

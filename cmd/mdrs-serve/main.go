@@ -56,6 +56,9 @@ type options struct {
 	cacheSize   int
 	workers     int
 	maxBody     int64
+	maxDegree   int
+	controller  bool
+	ctlInterval time.Duration
 }
 
 // defaultMaxBody caps the /schedule request body when -max-body is
@@ -77,6 +80,9 @@ func main() {
 	flag.IntVar(&o.cacheSize, "cache", 0, "plan-fingerprint schedule cache size in schedules (0 = disabled)")
 	flag.IntVar(&o.workers, "sched-workers", 0, "per-request scheduler worker pool width; 0 = GOMAXPROCS, 1 = serial (bounds scheduler goroutines at max-inflight x workers)")
 	flag.Int64Var(&o.maxBody, "max-body", defaultMaxBody, "maximum /schedule request body bytes (oversized POSTs get 413)")
+	flag.IntVar(&o.maxDegree, "max-degree", 0, "per-query parallelism cap on floating operators (0 = uncapped)")
+	flag.BoolVar(&o.controller, "controller", false, "enable the adaptive parallelism controller (retunes batch window, max-degree, sched-workers under load)")
+	flag.DurationVar(&o.ctlInterval, "ctl-interval", 0, "adaptive controller tick period (0 = 100ms default)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
@@ -122,15 +128,21 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		// Stop accepting connections, let in-flight requests finish,
-		// drain the scheduling service, and take the debug listener down
-		// with us — it must not outlive the service it observes.
+		// Begin the service drain first — Close flips Closing()
+		// immediately, so /healthz reports draining (503) while the HTTP
+		// listener is still up and a load balancer stops routing here
+		// before connections disappear. Then stop accepting connections,
+		// let in-flight requests finish, wait for the drain, and take the
+		// debug listener down with us — it must not outlive the service
+		// it observes.
+		closed := make(chan struct{})
+		go func() { svc.Close(); close(closed) }()
 		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrs-serve: shutdown: %v\n", err)
 		}
-		svc.Close()
+		<-closed
 		if err := stopDebug(sctx); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrs-serve: debug shutdown: %v\n", err)
 		}
@@ -155,12 +167,13 @@ func newService(o options, rec mdrs.Recorder) (*mdrs.SchedulingService, error) {
 	// next to the serve.* ones, so scheduler concurrency is observable
 	// without a separate trace run.
 	ts := mdrs.TreeScheduler{
-		Model:   mdrs.DefaultCostModel(),
-		Overlap: ov,
-		P:       o.sites,
-		F:       o.f,
-		Rec:     rec,
-		Workers: o.workers,
+		Model:     mdrs.DefaultCostModel(),
+		Overlap:   ov,
+		P:         o.sites,
+		F:         o.f,
+		MaxDegree: o.maxDegree,
+		Rec:       rec,
+		Workers:   o.workers,
 	}
 	if o.cacheSize > 0 {
 		// Caching mode also attaches the cost-model memo: repeated specs
@@ -176,7 +189,11 @@ func newService(o options, rec mdrs.Recorder) (*mdrs.SchedulingService, error) {
 		BatchWindow: o.batchWindow,
 		SoloMargin:  o.soloMargin,
 		CacheSize:   o.cacheSize,
-		Rec:         rec,
+		Controller: mdrs.ServeControllerConfig{
+			Enable:   o.controller,
+			Interval: o.ctlInterval,
+		},
+		Rec: rec,
 	})
 }
 
@@ -225,7 +242,7 @@ func newHandler(svc *mdrs.SchedulingService, met *mdrs.Metrics, maxBody int64) h
 		}
 		res, err := svc.Schedule(r.Context(), tt)
 		if err != nil {
-			writeScheduleError(w, err)
+			writeScheduleError(w, svc, err)
 			return
 		}
 		data, err := mdrs.EncodeScheduleJSON(res.Schedule)
@@ -243,6 +260,17 @@ func newHandler(svc *mdrs.SchedulingService, met *mdrs.Metrics, maxBody int64) h
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		// A draining service still answers health checks but must stop
+		// reporting ready: Close drains admitted work while every new
+		// request gets ErrClosed, so a load balancer that keeps routing
+		// here only feeds traffic into guaranteed 503s. Report 503 with
+		// status "draining" the moment Close begins.
+		if svc.Closing() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "{\"status\":\"draining\",\"inflight\":%d,\"queued\":%d}\n",
+				svc.InFlight(), svc.Queued())
+			return
+		}
 		fmt.Fprintf(w, "{\"status\":\"ok\",\"inflight\":%d,\"queued\":%d}\n",
 			svc.InFlight(), svc.Queued())
 	})
@@ -258,11 +286,14 @@ func newHandler(svc *mdrs.SchedulingService, met *mdrs.Metrics, maxBody int64) h
 // writeScheduleError maps service errors onto HTTP statuses: shed and
 // shutdown are retryable 503s, a blown deadline is 504, a cancelled
 // client gets 499-style treatment via 400 (it is gone anyway), and
-// anything else is a 500.
-func writeScheduleError(w http.ResponseWriter, err error) {
+// anything else is a 500. The Retry-After of a 503 is derived from the
+// service's live queue depth and (controller-tuned) batching window —
+// a hardcoded constant either hammers a deeply-backed-up service or
+// keeps clients away from one that drained milliseconds later.
+func writeScheduleError(w http.ResponseWriter, svc *mdrs.SchedulingService, err error) {
 	switch {
 	case errors.Is(err, mdrs.ErrOverloaded), errors.Is(err, mdrs.ErrServiceClosed):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds(svc.RetryAfter()))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
@@ -271,4 +302,15 @@ func writeScheduleError(w http.ResponseWriter, err error) {
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// retryAfterSeconds renders a duration as a whole-second Retry-After
+// value, rounded up so sub-second estimates never become "0" (which
+// clients read as "retry immediately" — the opposite of backoff).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }

@@ -275,3 +275,82 @@ func TestScheduleEndpointCacheDisabledByDefault(t *testing.T) {
 		}
 	}
 }
+
+// Regression: /healthz used to report "ok" while the service was
+// draining after Close, so a load balancer kept routing traffic into
+// guaranteed 503s. A draining service must answer 503 with status
+// "draining" the moment Close begins.
+func TestHealthzReports503WhileDraining(t *testing.T) {
+	met := mdrs.NewMetrics()
+	svc, err := newService(testOptions(), met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHandler(svc, met, 0)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("live service healthz: status %d", rec.Code)
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", rec.Code)
+	}
+	var decoded struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid healthz JSON: %v", err)
+	}
+	if decoded.Status != "draining" {
+		t.Fatalf("status %q, want draining", decoded.Status)
+	}
+}
+
+// The 503 Retry-After is derived from the service's live queue depth
+// and batching window, not hardcoded: an idle service's estimate is
+// sub-second (rounded up to the 1s floor) and the rendering never emits
+// zero, which clients would read as "retry immediately".
+func TestRetryAfterSecondsRoundsUpNeverZero(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"},
+		{2500 * time.Millisecond, "3"},
+		{30 * time.Second, "30"},
+		{0, "1"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// A shed request's Retry-After reflects the service's own estimate.
+func TestScheduleErrorDerivesRetryAfterFromService(t *testing.T) {
+	met := mdrs.NewMetrics()
+	svc, err := newService(testOptions(), met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	rec := httptest.NewRecorder()
+	writeScheduleError(rec, svc, mdrs.ErrOverloaded)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if got, want := rec.Header().Get("Retry-After"), retryAfterSeconds(svc.RetryAfter()); got != want {
+		t.Fatalf("Retry-After %q, want service-derived %q", got, want)
+	}
+}

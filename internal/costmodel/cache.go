@@ -41,12 +41,15 @@ type Cache struct {
 }
 
 // degreeKey identifies one Degree computation: the spec (which pins the
-// cost vector) plus every parameter Degree reads.
+// cost vector) plus every parameter DegreeCapped reads, including the
+// absolute parallelism cap (0 = uncapped) — two callers with different
+// caps must never share a memoized answer.
 type degreeKey struct {
 	spec OpSpec
 	f    float64
 	p    int
 	ov   resource.Overlap
+	cap  int
 }
 
 // clonesKey identifies one Clones computation.
@@ -102,7 +105,17 @@ func (c *Cache) Cost(spec OpSpec) OpCost {
 // the spec; the memo covers the NOpt scan inside Degree, which is the
 // expensive part of preparing an operator.
 func (c *Cache) Degree(spec OpSpec, f float64, p int, ov resource.Overlap) int {
-	k := degreeKey{spec: spec, f: f, p: p, ov: ov}
+	return c.DegreeCapped(spec, f, p, ov, 0)
+}
+
+// DegreeCapped is Model.DegreeCapped memoized by (spec, f, P, ε, cap).
+// The cap participates in the key, so answers computed under different
+// parallelism caps never alias.
+func (c *Cache) DegreeCapped(spec OpSpec, f float64, p int, ov resource.Overlap, cap int) int {
+	if cap < 0 {
+		cap = 0
+	}
+	k := degreeKey{spec: spec, f: f, p: p, ov: ov, cap: cap}
 	c.mu.RLock()
 	n, ok := c.degrees[k]
 	c.mu.RUnlock()
@@ -111,7 +124,7 @@ func (c *Cache) Degree(spec OpSpec, f float64, p int, ov resource.Overlap) int {
 		return n
 	}
 	c.misses.Add(1)
-	n = c.model.Degree(c.Cost(spec), f, p, ov)
+	n = c.model.DegreeCapped(c.Cost(spec), f, p, ov, cap)
 	c.mu.Lock()
 	if len(c.degrees) >= cacheMapLimit {
 		clear(c.degrees)

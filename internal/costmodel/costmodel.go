@@ -364,9 +364,22 @@ func (m Model) NOpt(c OpCost, maxN int, ov resource.Overlap) int {
 // Degree returns the degree of partitioned parallelism the scheduler
 // uses for a floating operator: min{N_max(op, f), N_opt(op), P}.
 func (m Model) Degree(c OpCost, f float64, p int, ov resource.Overlap) int {
+	return m.DegreeCapped(c, f, p, ov, 0)
+}
+
+// DegreeCapped is Degree with an absolute per-operator parallelism cap:
+// min{N_max(op, f), N_opt(op), P, cap}. cap <= 0 means uncapped (plain
+// Degree). The cap clamps the search range before the NOpt scan, so it
+// bounds both the chosen degree and the scan's cost — the serve layer's
+// adaptive controller uses it to shrink per-query parallelism under
+// concurrency (trading isolated response time for system throughput).
+func (m Model) DegreeCapped(c OpCost, f float64, p int, ov resource.Overlap, cap int) int {
 	n := m.NMax(c, f)
 	if n > p {
 		n = p
+	}
+	if cap > 0 && n > cap {
+		n = cap
 	}
 	if nOpt := m.NOpt(c, n, ov); nOpt < n {
 		n = nOpt

@@ -28,6 +28,15 @@ type TreeScheduler struct {
 	// relations. Probes are always rooted at their build's home
 	// regardless of this map.
 	Homes map[int][]int
+	// MaxDegree, when positive, caps every floating operator's degree of
+	// partitioned parallelism at min{N_max, N_opt, P, MaxDegree} —
+	// the per-query intra-operator parallelism lever the serve layer's
+	// adaptive controller turns under concurrency. Zero means uncapped
+	// (the paper's pure CG_f degree). Unlike Workers, MaxDegree changes
+	// the schedule itself, so it participates in Fingerprint: two caps
+	// never share a cached schedule. Rooted operators (Homes, and probes
+	// pinned to their build's sites) keep their fixed homes regardless.
+	MaxDegree int
 	// Policy selects the phase-packing policy; the zero value is the
 	// paper's MinShelf.
 	Policy plan.PhasePolicy
@@ -67,6 +76,9 @@ func (ts TreeScheduler) Validate() error {
 	}
 	if ts.F < 0 {
 		return fmt.Errorf("sched: negative granularity parameter f = %g", ts.F)
+	}
+	if ts.MaxDegree < 0 {
+		return fmt.Errorf("sched: negative parallelism cap MaxDegree = %d", ts.MaxDegree)
 	}
 	return nil
 }
@@ -308,10 +320,10 @@ func (ts TreeScheduler) prepare(p *plan.Operator, homes map[*plan.Operator][]int
 }
 
 // degree resolves a floating operator's degree of parallelism through
-// the cache when one is attached.
+// the cache when one is attached, clamped by MaxDegree when set.
 func (ts TreeScheduler) degree(spec costmodel.OpSpec) int {
 	if ts.Cache != nil {
-		return ts.Cache.Degree(spec, ts.F, ts.P, ts.Overlap)
+		return ts.Cache.DegreeCapped(spec, ts.F, ts.P, ts.Overlap, ts.MaxDegree)
 	}
-	return ts.Model.Degree(ts.Model.Cost(spec), ts.F, ts.P, ts.Overlap)
+	return ts.Model.DegreeCapped(ts.Model.Cost(spec), ts.F, ts.P, ts.Overlap, ts.MaxDegree)
 }

@@ -1,0 +1,358 @@
+// Adaptive inter/intra-query parallelism controller.
+//
+// The controller is a periodic feedback loop over the service's own
+// observability stream: each tick it reads the obs.Metrics snapshot the
+// service publishes into, derives three pressure signals — the shed
+// rate (serve.rejected per serve.requests over the tick), the wait-queue
+// occupancy, and the mean request latency over the tick — and retunes
+// three knobs through the service's atomic knob block:
+//
+//   - the batching window (wider under pressure: larger groups amortize
+//     scheduling work over more queries, trading latency for throughput —
+//     but only when the service can actually coalesce, i.e. MaxBatch > 1
+//     and more than one request may be in flight; otherwise a wider
+//     window is pure added wait with no companion to share it);
+//   - the per-query parallelism cap TreeScheduler.MaxDegree (lower under
+//     pressure: fewer clones per operator means cheaper placement and a
+//     higher service rate — inter-query parallelism is bought by
+//     shrinking intra-query parallelism, the core trade of the paper's
+//     multi-query regime);
+//   - the scheduler pool width TreeScheduler.Workers (narrower under
+//     pressure: MaxInFlight concurrent scheduling calls each spawning a
+//     full worker pool oversubscribes the host exactly when it is
+//     busiest).
+//
+// The policy is hysteresis-banded AIMD. Above the high band the
+// controller tightens multiplicatively (halve the cap, double the
+// window, drop one worker); below the low band it relaxes additively
+// (one step back toward the configured values); between the bands it
+// holds, so the knobs do not oscillate around a noisy operating point.
+// Tightening is multiplicative and relaxing additive for the classic
+// reason: overload must be escaped in O(log) ticks, while recovery
+// probes gently enough not to re-trigger the collapse it just escaped.
+//
+// MaxDegree changes are safe under the schedule cache because the cap
+// participates in sched.TreeScheduler.Fingerprint: schedules computed
+// under different caps live under different keys, so a retune can never
+// cause a stale-cap cache hit. Workers is deliberately NOT part of the
+// fingerprint — it changes how fast a schedule is computed, never its
+// bytes.
+package serve
+
+import (
+	"time"
+
+	"mdrs/internal/obs"
+	"mdrs/internal/par"
+)
+
+// ControllerConfig configures the adaptive controller. The zero value
+// disables it; every other field has a default resolved by
+// newController.
+type ControllerConfig struct {
+	// Enable turns the controller on. Off (the default), no knob is ever
+	// written after New seeds them, and the service is byte-identical to
+	// a controller-free build.
+	Enable bool
+
+	// Interval is the control-loop period. Default: 100ms — long enough
+	// that each tick sees a meaningful request sample, short enough to
+	// react to a load step within a few hundred milliseconds.
+	Interval time.Duration
+
+	// Source, when non-nil, is the metrics aggregate the controller
+	// reads its signals from. Default: if Config.Rec is itself a
+	// *obs.Metrics it is used directly; otherwise a private Metrics is
+	// created and teed into Config.Rec via obs.Multi, so the controller
+	// always observes the service's own counters.
+	Source *obs.Metrics
+
+	// HighShed and LowShed band the shed rate (serve.rejected per
+	// serve.requests over one tick). Above HighShed the controller
+	// tightens; below LowShed it may relax. Defaults: 0.05 and 0.01.
+	HighShed float64
+	LowShed  float64
+
+	// HighQueue and LowQueue band the wait-queue occupancy
+	// (queued / MaxQueue). Defaults: 0.5 and 0.125.
+	HighQueue float64
+	LowQueue  float64
+
+	// HighLatency, when positive, adds a latency trigger: a tick whose
+	// mean serve.request_seconds exceeds it counts as pressure even if
+	// nothing was shed — the early-warning signal, since latency climbs
+	// before the queue overflows. Default (0): disabled.
+	HighLatency time.Duration
+
+	// MinDegree floors the per-query parallelism cap so the controller
+	// can never serialize queries entirely. Default: 1.
+	MinDegree int
+
+	// MaxWindow caps how far the controller may widen the batching
+	// window. Default: 8× the configured window, or 16ms when the
+	// configured window is opportunistic (zero).
+	MaxWindow time.Duration
+}
+
+// withDefaults resolves the zero-value controller knobs against the
+// service configuration (already itself default-resolved).
+func (c ControllerConfig) withDefaults(svc Config) ControllerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.HighShed <= 0 {
+		c.HighShed = 0.05
+	}
+	if c.LowShed <= 0 {
+		c.LowShed = 0.01
+	}
+	if c.HighQueue <= 0 {
+		c.HighQueue = 0.5
+	}
+	if c.LowQueue <= 0 {
+		c.LowQueue = 0.125
+	}
+	if c.MinDegree <= 0 {
+		c.MinDegree = 1
+	}
+	if c.MaxWindow <= 0 {
+		if svc.BatchWindow > 0 {
+			c.MaxWindow = 8 * svc.BatchWindow
+		} else {
+			c.MaxWindow = 16 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// controller holds the resolved policy plus the per-tick state: the
+// configured base values relaxation recovers toward, and the previous
+// tick's counter readings the per-tick deltas are computed against.
+type controller struct {
+	cfg ControllerConfig
+	src *obs.Metrics
+
+	// Configured values: the relaxed operating point.
+	baseWindow  time.Duration
+	baseSolo    time.Duration
+	baseDegree  int // configured MaxDegree; 0 = uncapped
+	degreeCeil  int // effective ceiling for recovery (baseDegree, or P when uncapped)
+	baseWorkers int // effective configured pool width (par.Workers-resolved)
+
+	// coalesce records whether batching can ever amortize anything:
+	// MaxBatch > 1 and more than one admitted request at a time. When
+	// false the window knob is left alone — widening it would delay every
+	// group leader for companions that can never arrive.
+	coalesce bool
+
+	// Previous tick's cumulative counters, for windowed deltas.
+	prevRequests int64
+	prevRejected int64
+	prevLatCount int64
+	prevLatSum   float64
+}
+
+// newController resolves the controller configuration against the
+// (already default-resolved) service configuration and returns the
+// possibly-rewritten Config: when no metrics aggregate is observable, a
+// private one is teed into cfg.Rec so the controller sees the service's
+// own counters. Callers must therefore use the returned Config.
+func newController(cfg Config) (*controller, Config) {
+	cc := cfg.Controller.withDefaults(cfg)
+	src := cc.Source
+	if src == nil {
+		if m, ok := cfg.Rec.(*obs.Metrics); ok && m != nil {
+			src = m
+		} else {
+			src = obs.NewMetrics()
+			cfg.Rec = obs.Multi(cfg.Rec, src)
+		}
+	}
+	ceil := cfg.Scheduler.MaxDegree
+	if ceil <= 0 {
+		// Uncapped: the effective per-operator ceiling is the system size
+		// P (Degree can never exceed it), so halving starts from there.
+		ceil = cfg.Scheduler.P
+	}
+	if ceil < cc.MinDegree {
+		ceil = cc.MinDegree
+	}
+	return &controller{
+		cfg:         cc,
+		src:         src,
+		baseWindow:  cfg.BatchWindow,
+		baseSolo:    cfg.SoloMargin,
+		baseDegree:  cfg.Scheduler.MaxDegree,
+		degreeCeil:  ceil,
+		baseWorkers: par.Workers(cfg.Scheduler.Workers),
+		coalesce:    cfg.MaxBatch > 1 && cfg.MaxInFlight > 1,
+	}, cfg
+}
+
+// control is the controller goroutine: one controlStep per interval
+// until Close. Registered with the service WaitGroup by New.
+func (s *Service) control(c *controller) {
+	defer s.workers.Done()
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.controlStep(c)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// signals derives the tick's pressure signals from the metrics snapshot
+// and the live gauges.
+func (s *Service) signals(c *controller) (shedRate, queueOcc float64, meanLat time.Duration) {
+	snap := c.src.Snapshot()
+	requests := snap.Counters["serve.requests"]
+	rejected := snap.Counters["serve.rejected"]
+	dReq := requests - c.prevRequests
+	dRej := rejected - c.prevRejected
+	c.prevRequests, c.prevRejected = requests, rejected
+	if dReq > 0 {
+		shedRate = float64(dRej) / float64(dReq)
+	}
+	if h, ok := snap.Histograms["serve.request_seconds"]; ok {
+		dCount := h.Count - c.prevLatCount
+		dSum := h.Sum - c.prevLatSum
+		c.prevLatCount, c.prevLatSum = h.Count, h.Sum
+		if dCount > 0 {
+			meanLat = time.Duration(dSum / float64(dCount) * float64(time.Second))
+		}
+	}
+	if s.cfg.MaxQueue > 0 {
+		queueOcc = float64(s.queued.Load()) / float64(s.cfg.MaxQueue)
+	} else {
+		// No wait queue configured: fall back to in-flight occupancy so a
+		// saturated semaphore still registers as pressure.
+		queueOcc = float64(s.inflight.Load()) / float64(s.cfg.MaxInFlight)
+	}
+	return shedRate, queueOcc, meanLat
+}
+
+// controlStep runs one AIMD tick: classify the operating point against
+// the hysteresis bands, then tighten, relax, or hold.
+func (s *Service) controlStep(c *controller) {
+	shedRate, queueOcc, meanLat := s.signals(c)
+	rec := s.cfg.Rec
+
+	pressure := shedRate > c.cfg.HighShed || queueOcc > c.cfg.HighQueue ||
+		(c.cfg.HighLatency > 0 && meanLat > c.cfg.HighLatency)
+	idle := shedRate < c.cfg.LowShed && queueOcc < c.cfg.LowQueue &&
+		(c.cfg.HighLatency <= 0 || meanLat <= c.cfg.HighLatency)
+
+	switch {
+	case pressure:
+		s.tighten(c)
+		obs.Count(rec, "serve.ctl.tighten", 1)
+	case idle:
+		s.relax(c)
+		obs.Count(rec, "serve.ctl.relax", 1)
+	default:
+		// In-band: hold. The gap between the bands is the hysteresis that
+		// keeps the knobs from oscillating around a noisy signal.
+		obs.Count(rec, "serve.ctl.hold", 1)
+	}
+
+	// Gauge the tick so benchmark artifacts can plot the knob
+	// trajectories against the load shape.
+	obs.Observe(rec, "serve.ctl.shed_rate", shedRate)
+	obs.Observe(rec, "serve.ctl.queue_occupancy", queueOcc)
+	obs.Observe(rec, "serve.ctl.max_degree", float64(s.knobs.maxDegree.Load()))
+	obs.Observe(rec, "serve.ctl.window_seconds", s.batchWindow().Seconds())
+	obs.Observe(rec, "serve.ctl.workers", float64(s.knobs.schedWorkers.Load()))
+}
+
+// tighten is the multiplicative-decrease arm: halve the parallelism
+// cap, double the batching window, drop one scheduler worker.
+func (s *Service) tighten(c *controller) {
+	// Per-query parallelism cap: 0 (uncapped) tightens from the
+	// effective ceiling, so the first pressure tick already bites.
+	cur := int(s.knobs.maxDegree.Load())
+	if cur <= 0 || cur > c.degreeCeil {
+		cur = c.degreeCeil
+	}
+	next := cur / 2
+	if next < c.cfg.MinDegree {
+		next = c.cfg.MinDegree
+	}
+	s.knobs.maxDegree.Store(int64(next))
+
+	// Batching window: wider groups amortize per-batch scheduling work —
+	// but only when companions can actually arrive (MaxBatch > 1 and
+	// more than one admitted request at a time). With nothing to
+	// coalesce, a wider window is pure wait added to every request
+	// exactly when the queue is longest, so the knob is left alone.
+	if c.coalesce {
+		w := s.batchWindow()
+		if w <= 0 {
+			w = time.Millisecond
+		} else {
+			w *= 2
+		}
+		if w > c.cfg.MaxWindow {
+			w = c.cfg.MaxWindow
+		}
+		s.knobs.batchWindow.Store(int64(w))
+		s.retuneSolo(c, w)
+	}
+
+	// Scheduler pool: shed one worker per pressure tick, floor 1.
+	if cw := s.effectiveWorkers(); cw > 1 {
+		s.knobs.schedWorkers.Store(int64(cw - 1))
+	}
+}
+
+// relax is the additive-increase arm: one step back toward the
+// configured operating point on every idle tick.
+func (s *Service) relax(c *controller) {
+	cur := int(s.knobs.maxDegree.Load())
+	if cur > 0 && cur < c.degreeCeil {
+		next := cur + 1
+		if next >= c.degreeCeil {
+			// Fully recovered: restore the configured cap exactly (which
+			// may be 0 = uncapped) rather than parking at the ceiling.
+			s.knobs.maxDegree.Store(int64(c.baseDegree))
+		} else {
+			s.knobs.maxDegree.Store(int64(next))
+		}
+	}
+
+	w := s.batchWindow()
+	if w > c.baseWindow {
+		w /= 2
+		if w < c.baseWindow {
+			w = c.baseWindow
+		}
+		s.knobs.batchWindow.Store(int64(w))
+		s.retuneSolo(c, w)
+	}
+
+	if cw := s.effectiveWorkers(); cw < c.baseWorkers {
+		s.knobs.schedWorkers.Store(int64(cw + 1))
+	}
+}
+
+// retuneSolo keeps the deadline-degradation threshold proportional to
+// the live window (the 4× default ratio), never below its configured
+// base: a wider window must push the solo bypass threshold out with it,
+// or every deadline-bearing request would start bypassing the batcher
+// exactly when batching matters most.
+func (s *Service) retuneSolo(c *controller, w time.Duration) {
+	solo := 4 * w
+	if solo < c.baseSolo {
+		solo = c.baseSolo
+	}
+	s.knobs.soloMargin.Store(int64(solo))
+}
+
+// effectiveWorkers resolves the live Workers knob the way the scheduler
+// will (0 = GOMAXPROCS).
+func (s *Service) effectiveWorkers() int {
+	return par.Workers(int(s.knobs.schedWorkers.Load()))
+}

@@ -95,6 +95,18 @@ type Config struct {
 	// Default: 4×BatchWindow.
 	SoloMargin time.Duration
 
+	// Controller configures the adaptive inter/intra-query parallelism
+	// controller (controller.go): a periodic feedback loop that observes
+	// queue depth, shed rate, and the request-latency histogram and
+	// retunes the batching window, the per-query parallelism cap
+	// (TreeScheduler.MaxDegree), and the scheduler pool width
+	// (TreeScheduler.Workers) through the service's atomic knobs. The
+	// zero value leaves the controller disabled: every knob then holds
+	// its configured value for the service's lifetime and behavior is
+	// identical to a controller-free build (pinned by the invariance
+	// tests).
+	Controller ControllerConfig
+
 	// CacheSize, when positive, enables the plan-fingerprint schedule
 	// cache: a bounded LRU of up to CacheSize completed schedules keyed
 	// by sched.TreeScheduler.Fingerprint. A repeated plan is answered
@@ -123,6 +135,13 @@ type Config struct {
 	Rec obs.Recorder
 }
 
+// defaultOpportunisticSoloMargin is the SoloMargin fallback when the
+// batching window is opportunistic (BatchWindow < 0, normalized to 0):
+// the proportional default 4×BatchWindow would collapse to 0 there,
+// leaving deadline-aware solo degradation to fire only for deadlines
+// that have already expired.
+const defaultOpportunisticSoloMargin = 8 * time.Millisecond
+
 // withDefaults resolves the zero-value knobs.
 func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
@@ -144,7 +163,11 @@ func (c Config) withDefaults() Config {
 		c.MaxBatch = 8
 	}
 	if c.SoloMargin <= 0 {
-		c.SoloMargin = 4 * c.BatchWindow
+		if c.BatchWindow > 0 {
+			c.SoloMargin = 4 * c.BatchWindow
+		} else {
+			c.SoloMargin = defaultOpportunisticSoloMargin
+		}
 	}
 	return c
 }
@@ -226,6 +249,21 @@ func (r *request) unref() {
 	requestPool.Put(r)
 }
 
+// knobs holds the service's dynamically tunable parameters. Every
+// field is read atomically on the request hot path and written only by
+// the adaptive controller (or never, when the controller is disabled),
+// so live retuning cannot race the collector or the request paths —
+// previously the collector read cfg.BatchWindow, cfg.SoloMargin, and
+// cfg.MaxBatch from plain struct fields on every request, which was
+// benign only because nothing mutated them.
+type knobs struct {
+	batchWindow  atomic.Int64 // ns; <= 0 means opportunistic batching
+	soloMargin   atomic.Int64 // ns
+	maxBatch     atomic.Int64 // queries per ScheduleBatch workload
+	maxDegree    atomic.Int64 // per-query parallelism cap; 0 = uncapped
+	schedWorkers atomic.Int64 // TreeScheduler.Workers; 0 = GOMAXPROCS
+}
+
 // Service is the concurrent scheduling service. Construct with New;
 // the zero value is not usable.
 type Service struct {
@@ -236,21 +274,55 @@ type Service struct {
 	pending chan *request // admitted requests awaiting batching
 	done    chan struct{} // closed by Close
 	cache   *schedCache   // nil unless Config.CacheSize > 0
+	knobs   knobs         // live tunables; static unless the controller runs
 
 	mu      sync.Mutex // guards closed and the workers Add-vs-Wait race
 	closed  bool
-	workers sync.WaitGroup // collector + group runners
+	closing atomic.Bool    // set at the start of Close, before the drain
+	workers sync.WaitGroup // collector + controller + group runners
 
 	inflight atomic.Int64 // admitted and not yet delivered
 	queued   atomic.Int64 // waiting for an in-flight slot
 }
 
-// New validates the configuration and starts the batching collector.
-// Callers must Close the service to release it.
+// batchWindow reads the live batching window.
+func (s *Service) batchWindow() time.Duration {
+	return time.Duration(s.knobs.batchWindow.Load())
+}
+
+// soloMargin reads the live deadline-degradation threshold.
+func (s *Service) soloMargin() time.Duration {
+	return time.Duration(s.knobs.soloMargin.Load())
+}
+
+// maxBatch reads the live batch-size cap.
+func (s *Service) maxBatch() int { return int(s.knobs.maxBatch.Load()) }
+
+// scheduler returns the configured TreeScheduler with the live knob
+// overlay applied: the current per-query parallelism cap and scheduler
+// pool width. With the controller disabled both knobs hold their
+// configured values, so the result is exactly cfg.Scheduler.
+func (s *Service) scheduler() sched.TreeScheduler {
+	ts := s.cfg.Scheduler
+	ts.MaxDegree = int(s.knobs.maxDegree.Load())
+	ts.Workers = int(s.knobs.schedWorkers.Load())
+	return ts
+}
+
+// New validates the configuration and starts the batching collector
+// (and, when enabled, the adaptive controller). Callers must Close the
+// service to release it.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Scheduler.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var ctl *controller
+	if cfg.Controller.Enable {
+		// newController may rewrite cfg.Rec (teeing in a private metrics
+		// recorder when none is observable), so it runs before the knobs
+		// and channels are seeded from cfg.
+		ctl, cfg = newController(cfg)
 	}
 	s := &Service{
 		cfg:     cfg,
@@ -260,6 +332,14 @@ func New(cfg Config) (*Service, error) {
 		done:    make(chan struct{}),
 		cache:   newSchedCache(cfg.CacheSize),
 	}
+	// Seed the live knobs from the resolved configuration; without a
+	// controller these stores are the knobs' only writes, so behavior is
+	// exactly the static pre-knob service.
+	s.knobs.batchWindow.Store(int64(cfg.BatchWindow))
+	s.knobs.soloMargin.Store(int64(cfg.SoloMargin))
+	s.knobs.maxBatch.Store(int64(cfg.MaxBatch))
+	s.knobs.maxDegree.Store(int64(cfg.Scheduler.MaxDegree))
+	s.knobs.schedWorkers.Store(int64(cfg.Scheduler.Workers))
 	// Surface the effective scheduler pool width so /metricz-style
 	// consumers can compute the MaxInFlight × Workers goroutine bound
 	// without re-deriving GOMAXPROCS defaults.
@@ -267,6 +347,10 @@ func New(cfg Config) (*Service, error) {
 	obs.Count(cfg.Rec, "serve.max_inflight", int64(cfg.MaxInFlight))
 	s.workers.Add(1)
 	go s.collect()
+	if ctl != nil {
+		s.workers.Add(1)
+		go s.control(ctl)
+	}
 	return s, nil
 }
 
@@ -276,6 +360,7 @@ func New(cfg Config) (*Service, error) {
 // drop — while requests waiting for admission fail with ErrClosed.
 // Close is idempotent.
 func (s *Service) Close() error {
+	s.closing.Store(true)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -288,6 +373,13 @@ func (s *Service) Close() error {
 	return nil
 }
 
+// Closing reports whether Close has begun: the service is draining (or
+// already closed) and new requests fail with ErrClosed. Health
+// endpoints should stop reporting ready once this flips, so a load
+// balancer routes around the dying instance instead of feeding it
+// traffic that will only be rejected.
+func (s *Service) Closing() bool { return s.closing.Load() }
+
 // InFlight reports the number of admitted requests not yet delivered.
 func (s *Service) InFlight() int { return int(s.inflight.Load()) }
 
@@ -297,6 +389,56 @@ func (s *Service) Queued() int { return int(s.queued.Load()) }
 // CacheLen reports the number of schedules currently held by the
 // schedule cache; 0 when caching is disabled.
 func (s *Service) CacheLen() int { return s.cache.Len() }
+
+// Tuning is a point-in-time copy of the service's live knob values —
+// the configured values until the adaptive controller (if enabled)
+// retunes them.
+type Tuning struct {
+	BatchWindow  time.Duration
+	SoloMargin   time.Duration
+	MaxBatch     int
+	MaxDegree    int
+	SchedWorkers int
+}
+
+// Tuning reports the current knob values, read atomically. Purely
+// observational; the values may be retuned the instant after.
+func (s *Service) Tuning() Tuning {
+	return Tuning{
+		BatchWindow:  s.batchWindow(),
+		SoloMargin:   s.soloMargin(),
+		MaxBatch:     s.maxBatch(),
+		MaxDegree:    int(s.knobs.maxDegree.Load()),
+		SchedWorkers: int(s.knobs.schedWorkers.Load()),
+	}
+}
+
+// RetryAfter estimates, from live state, how long a shed caller should
+// wait before retrying: the admission pipeline's current depth
+// (in-flight plus queued) drains roughly MaxInFlight requests per
+// batching window, so the estimate is one window per pending round.
+// The result is clamped to [1ms, 30s] — never zero, so HTTP handlers
+// can ceil it to whole Retry-After seconds, and never unbounded, so a
+// deep queue at a wide window cannot tell clients to go away for
+// minutes.
+func (s *Service) RetryAfter() time.Duration {
+	w := s.batchWindow()
+	if w <= 0 {
+		// Opportunistic batching has no window to wait out; charge a
+		// nominal service quantum per round instead.
+		w = time.Millisecond
+	}
+	depth := int(s.inflight.Load()) + int(s.queued.Load())
+	rounds := depth/s.cfg.MaxInFlight + 1
+	d := time.Duration(rounds) * w
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
 
 // Schedule submits one task tree and blocks until its group is
 // scheduled, the context is cancelled (returning ctx.Err()), or the
@@ -369,7 +511,14 @@ func (s *Service) scheduleValid(ctx context.Context, tree *plan.TaskTree) (*Resu
 func (s *Service) scheduleCached(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
 	rec := s.cfg.Rec
 	start := time.Now()
-	fp := s.cfg.Scheduler.Fingerprint(tree)
+	// One scheduler snapshot serves the whole request: the fingerprint
+	// and the leader's computation must observe the same MaxDegree, or a
+	// controller retune between the two would file a schedule computed
+	// under one cap beneath another cap's key. The cap participates in
+	// the fingerprint, so each cap's schedules live under their own keys
+	// and a stale-cap hit is structurally impossible.
+	ts := s.scheduler()
+	fp := ts.Fingerprint(tree)
 	for {
 		if e := s.cache.get(fp); e != nil {
 			obs.Count(rec, "serve.cache_hits", 1)
@@ -383,7 +532,7 @@ func (s *Service) scheduleCached(ctx context.Context, tree *plan.TaskTree) (*Res
 		fl, leader := s.cache.flightFor(fp)
 		if leader {
 			obs.Count(rec, "serve.cache_misses", 1)
-			res, err := s.scheduleSingleton(ctx, tree)
+			res, err := s.scheduleSingleton(ctx, tree, ts)
 			if err != nil {
 				s.cache.resolve(fp, fl, nil, nil, err)
 				return nil, err
@@ -427,18 +576,19 @@ func (s *Service) scheduleCached(ctx context.Context, tree *plan.TaskTree) (*Res
 }
 
 // scheduleSingleton admits one request and schedules it as a group of
-// one, bypassing the collector entirely.
-func (s *Service) scheduleSingleton(ctx context.Context, tree *plan.TaskTree) (*Result, error) {
+// one with the given scheduler snapshot, bypassing the collector
+// entirely.
+func (s *Service) scheduleSingleton(ctx context.Context, tree *plan.TaskTree, ts sched.TreeScheduler) (*Result, error) {
 	rec := s.cfg.Rec
 	if err := s.admit(ctx); err != nil {
 		return nil, err
 	}
 	r := newRequest(ctx, tree)
 	obs.Observe(rec, "serve.inflight", float64(s.inflight.Add(1)))
-	if !s.spawnGroup([]*request{r}) {
+	if !s.spawnGroupAs(ts, []*request{r}) {
 		// The service is closing but this request is already admitted;
 		// finish it inline rather than dropping it.
-		s.runGroup([]*request{r})
+		s.runGroupAs(ts, []*request{r})
 	}
 	return s.await(ctx, r)
 }
@@ -459,14 +609,14 @@ func (s *Service) scheduleBatched(ctx context.Context, tree *plan.TaskTree) (*Re
 	// context switches per request): run the group of one on the
 	// caller's own goroutine. The buffered response channel makes the
 	// deliver-then-await sequence safe on a single goroutine.
-	if s.cfg.MaxBatch == 1 {
+	if s.maxBatch() == 1 {
 		s.runGroup([]*request{r})
 		return s.await(ctx, r)
 	}
 
 	// Deadline-aware degradation: a request that cannot afford the
 	// batching window goes solo, straight past the collector.
-	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.cfg.SoloMargin {
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.soloMargin() {
 		r.solo = true
 		obs.Count(rec, "serve.solo_deadline", 1)
 		if !s.spawnGroup([]*request{r}) {
@@ -556,7 +706,10 @@ func (s *Service) await(ctx context.Context, r *request) (*Result, error) {
 
 // collect is the batching loop: take the first pending request, hold
 // the window open for companions (bounded by MaxBatch), dispatch the
-// group, repeat. Exactly one collector runs per service.
+// group, repeat. Exactly one collector runs per service. The window
+// and batch-size knobs are re-read per group, so a controller retune
+// takes effect at the next group boundary without racing an open
+// window.
 func (s *Service) collect() {
 	defer s.workers.Done()
 	for {
@@ -568,10 +721,11 @@ func (s *Service) collect() {
 			return
 		}
 		group := []*request{first}
-		if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
-			timer := time.NewTimer(s.cfg.BatchWindow)
+		window, maxBatch := s.batchWindow(), s.maxBatch()
+		if window > 0 && maxBatch > 1 {
+			timer := time.NewTimer(window)
 		window:
-			for len(group) < s.cfg.MaxBatch {
+			for len(group) < maxBatch {
 				select {
 				case r := <-s.pending:
 					group = append(group, r)
@@ -586,7 +740,7 @@ func (s *Service) collect() {
 			// Opportunistic batching: absorb whatever is already pending
 			// without waiting.
 		drain:
-			for len(group) < s.cfg.MaxBatch {
+			for len(group) < maxBatch {
 				select {
 				case r := <-s.pending:
 					group = append(group, r)
@@ -610,12 +764,13 @@ func (s *Service) collect() {
 // channel at shutdown — they were admitted before Close, so they are
 // drained gracefully, in groups of up to MaxBatch.
 func (s *Service) drainPending() {
+	maxBatch := s.maxBatch()
 	var group []*request
 	for {
 		select {
 		case r := <-s.pending:
 			group = append(group, r)
-			if len(group) == s.cfg.MaxBatch {
+			if len(group) == maxBatch {
 				s.runGroup(group)
 				group = nil
 			}
@@ -629,10 +784,17 @@ func (s *Service) drainPending() {
 	}
 }
 
-// spawnGroup starts a runner goroutine for the group, registered with
-// the service's WaitGroup under the closed-flag lock so Close never
-// races Add against Wait. Reports false when the service is closed.
+// spawnGroup is spawnGroupAs with the scheduler's live knob overlay
+// captured at spawn time.
 func (s *Service) spawnGroup(group []*request) bool {
+	return s.spawnGroupAs(s.scheduler(), group)
+}
+
+// spawnGroupAs starts a runner goroutine for the group, registered
+// with the service's WaitGroup under the closed-flag lock so Close
+// never races Add against Wait. Reports false when the service is
+// closed.
+func (s *Service) spawnGroupAs(ts sched.TreeScheduler, group []*request) bool {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -642,15 +804,23 @@ func (s *Service) spawnGroup(group []*request) bool {
 	s.mu.Unlock()
 	go func() {
 		defer s.workers.Done()
-		s.runGroup(group)
+		s.runGroupAs(ts, group)
 	}()
 	return true
 }
 
-// runGroup schedules one group: drop members already cancelled, derive
-// a group context that dies only when every member has, run
-// ScheduleBatch, and deliver.
+// runGroup is runGroupAs with the scheduler's live knob overlay
+// captured at call time.
 func (s *Service) runGroup(group []*request) {
+	s.runGroupAs(s.scheduler(), group)
+}
+
+// runGroupAs schedules one group with the given scheduler snapshot:
+// drop members already cancelled, derive a group context that dies
+// only when every member has, run ScheduleBatch, and deliver. Cached
+// singletons pass the snapshot their fingerprint was computed with;
+// batched groups capture the knobs at dispatch.
+func (s *Service) runGroupAs(ts sched.TreeScheduler, group []*request) {
 	live := make([]*request, 0, len(group))
 	for _, r := range group {
 		if err := r.ctx.Err(); err != nil {
@@ -672,7 +842,7 @@ func (s *Service) runGroup(group []*request) {
 	gctx, cancel := groupContext(live)
 	defer cancel()
 	stop := obs.StartTimer(s.cfg.Rec, "serve.schedule_seconds")
-	schedule, err := s.cfg.Scheduler.ScheduleBatchCtx(gctx, trees)
+	schedule, err := ts.ScheduleBatchCtx(gctx, trees)
 	stop()
 
 	for i, r := range live {

@@ -148,6 +148,12 @@ type (
 	SchedulingService = serve.Service
 	// ServeConfig configures a SchedulingService.
 	ServeConfig = serve.Config
+	// ServeControllerConfig configures the adaptive inter/intra-query
+	// parallelism controller of a SchedulingService (ServeConfig.Controller).
+	ServeControllerConfig = serve.ControllerConfig
+	// ServeTuning is a point-in-time copy of a SchedulingService's live
+	// knob values (SchedulingService.Tuning).
+	ServeTuning = serve.Tuning
 	// ServeResult is one request's outcome from a SchedulingService.
 	ServeResult = serve.Result
 )
@@ -254,6 +260,13 @@ type Options struct {
 	Epsilon float64
 	// F is the coarse-granularity parameter (TreeSchedule only).
 	F float64
+	// MaxDegree, when positive, caps every floating operator's degree of
+	// partitioned parallelism at min{N_max, N_opt, P, MaxDegree}
+	// (TreeSchedule only). Zero means uncapped. Unlike SchedWorkers the
+	// cap changes the schedule itself, so it participates in
+	// PlanFingerprint — schedules cached under different caps never
+	// alias. The serve layer's adaptive controller tunes this knob live.
+	MaxDegree int
 	// Rec, when non-nil, receives the scheduler's decision trace and
 	// counters. It is strictly observational: the schedule is identical
 	// with or without it.
@@ -303,7 +316,10 @@ func ScheduleQueryCtx(ctx context.Context, p *PlanNode, o Options) (*Schedule, e
 	if err != nil {
 		return nil, err
 	}
-	ts := sched.TreeScheduler{Model: m, Overlap: ov, P: o.Sites, F: o.F, Rec: o.Rec, Workers: o.SchedWorkers}
+	ts := sched.TreeScheduler{
+		Model: m, Overlap: ov, P: o.Sites, F: o.F,
+		MaxDegree: o.MaxDegree, Rec: o.Rec, Workers: o.SchedWorkers,
+	}
 	return ts.ScheduleCtx(ctx, tt)
 }
 
