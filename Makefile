@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race adaptive-race bench bench-placement bench-cache bench-parallel bench-serve bench-adaptive figures trace-demo
+.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race bench bench-placement bench-cache bench-parallel bench-serve bench-adaptive bench-opt figures trace-demo
 
-check: build vet race obs-race serve-race cache-race par-race loadgen-race adaptive-race
+check: build vet race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ loadgen-race:
 adaptive-race:
 	$(GO) test -race -count=1 -run 'Controller|MaxDegree|Knob|Tuning|RetryAfter|SoloMargin|Closing|Degree' ./internal/serve ./internal/sched ./internal/costmodel ./cmd/mdrs-serve
 
+# The plan-search gate: the bound-pruned optimizer's identity corpus
+# (pruned == unpruned, byte-identical winning schedules, pool-width
+# invisibility), the OPTBOUND soundness sweep, and the concurrent-search
+# hammer racing shared caches against mid-search cancellation — fresh
+# under the race detector.
+opt-race:
+	$(GO) test -race -count=1 ./internal/optimizer ./internal/query ./internal/opt
+
 # Placement micro-benchmark tracked in BENCH_sched.json.
 bench-placement:
 	$(GO) test ./internal/sched -run '^$$' -bench BenchmarkOperatorSchedulePlacement -benchmem
@@ -94,6 +102,13 @@ bench-serve:
 # nothing to trade and the curves tie.
 bench-adaptive:
 	$(GO) run ./cmd/mdrs-loadgen -compare-controller -cache 0 -templates 512 -joins 6 -sites 128 -rps 50,200,800 -duration 5s -out BENCH_adaptive.json
+
+# Regenerate BENCH_optimizer.json: the bound-pruned plan search against
+# the two-phase and unpruned best-of-K ablation arms — per-arm wall
+# clock, the candidates/pruned/scheduled ledger, and the live
+# pruned-vs-unpruned identity verdict.
+bench-opt:
+	$(GO) run ./cmd/mdrs-bench -opt-bench BENCH_optimizer.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

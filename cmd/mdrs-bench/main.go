@@ -11,7 +11,9 @@
 //
 // -workers bounds the goroutine pool that fans out each figure's
 // per-query trials (0 = GOMAXPROCS); the output is byte-identical for
-// every worker count. -benchjson additionally records per-figure
+// every worker count. -opt-bench measures the bound-pruned plan search
+// against the two-phase and unpruned best-of-K ablation arms and writes
+// BENCH_optimizer.json-format JSON to its argument, then exits. -benchjson additionally records per-figure
 // regeneration wall times to FILE as JSON (the BENCH_sched.json format
 // tracked at the repository root), so successive PRs can compare the
 // harness's performance trajectory mechanically. -metrics attaches an
@@ -84,6 +86,7 @@ func main() {
 	metricsJSON := flag.String("metrics", "", "write run counters and timing histograms as JSON to this file")
 	cacheBench := flag.String("cache-bench", "", "measure the schedule cache and placement loop, write JSON to this file, and exit")
 	parBench := flag.String("par-bench", "", "measure scheduler Workers=1 vs Workers=N and the invariance verdict, write JSON to this file, and exit")
+	optBench := flag.String("opt-bench", "", "measure the bound-pruned plan search against its ablation arms, write JSON to this file, and exit")
 	schedWorkers := flag.Int("sched-workers", 0, "workers arm for -par-bench (0 = GOMAXPROCS, raised to at least 2)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
@@ -94,6 +97,10 @@ func main() {
 	}
 	if *parBench != "" {
 		parBenchMain(*parBench, *quick, *seed, *schedWorkers)
+		return
+	}
+	if *optBench != "" {
+		optBenchMain(*optBench, *quick, *seed)
 		return
 	}
 

@@ -1,0 +1,184 @@
+// The -opt-bench mode: measure the bound-pruned plan search against its
+// two ablation arms and write the numbers as JSON (the
+// BENCH_optimizer.json format tracked at the repository root). Three
+// arms run over identical re-seeded workloads:
+//
+//   - first-plan: the classical two-phase strawman — schedule only the
+//     first sampled plan (a Candidates=1 search);
+//   - best-of-k-unpruned: schedule every one of the K candidates and
+//     keep the best;
+//   - best-of-k-pruned: the integrated search — compute the cheap
+//     OPTBOUND lower bound for every candidate and run the full
+//     TreeSchedule only on candidates whose bound beats the running
+//     incumbent.
+//
+// The report records, per arm, wall-clock time and the
+// candidates/pruned/scheduled ledger, plus a live identity verdict: the
+// pruned arm must pick the same winner as the unpruned arm — same
+// candidate index, byte-identical schedule — on every query, or the
+// run fails.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mdrs"
+)
+
+type optBenchReport struct {
+	Config     optBenchConfig `json:"config"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Arms       []optBenchArm  `json:"arms"`
+	// IdentityVerified is true when the pruned arm's winner matched the
+	// unpruned arm's on every query: same candidate index and
+	// byte-identical schedule.
+	IdentityVerified bool   `json:"identity_verified"`
+	Note             string `json:"note"`
+}
+
+type optBenchConfig struct {
+	Joins      int     `json:"joins"`
+	Candidates int     `json:"candidates"`
+	Sites      int     `json:"sites"`
+	Queries    int     `json:"queries"`
+	Eps        float64 `json:"eps"`
+	F          float64 `json:"f"`
+	Seed       int64   `json:"seed"`
+}
+
+type optBenchArm struct {
+	Arm string `json:"arm"`
+	// Candidates/Pruned/Scheduled are totals across all queries.
+	Candidates       int     `json:"candidates"`
+	Pruned           int     `json:"pruned"`
+	Scheduled        int     `json:"scheduled"`
+	MeanBestResponse float64 `json:"mean_best_response"`
+	WallSeconds      float64 `json:"wall_seconds"`
+}
+
+// optBenchSearch builds one arm's search. Each arm gets its own fresh
+// cost-model memo so the arms' wall clocks are comparable.
+func optBenchSearch(cfg optBenchConfig, candidates int, noPrune bool) (mdrs.PlanSearch, error) {
+	s, err := mdrs.NewPlanSearch(mdrs.Options{
+		Sites:   cfg.Sites,
+		Epsilon: cfg.Eps,
+		F:       cfg.F,
+	}, candidates)
+	if err != nil {
+		return mdrs.PlanSearch{}, err
+	}
+	s.NoPrune = noPrune
+	return s, nil
+}
+
+// optBenchArmRun runs one arm over every query workload and returns its
+// totals plus the per-query winners for the identity check.
+func optBenchArmRun(cfg optBenchConfig, name string, candidates int, noPrune bool) (optBenchArm, []mdrs.PlanCandidate, error) {
+	s, err := optBenchSearch(cfg, candidates, noPrune)
+	if err != nil {
+		return optBenchArm{}, nil, err
+	}
+	arm := optBenchArm{Arm: name}
+	winners := make([]mdrs.PlanCandidate, 0, cfg.Queries)
+	start := time.Now()
+	for q := 0; q < cfg.Queries; q++ {
+		// Re-seeding per query (not per arm) hands every arm the
+		// identical relation catalog and candidate stream.
+		r := rand.New(rand.NewSource(cfg.Seed + int64(q)))
+		rels, err := mdrs.RandomRelations(r, cfg.Joins+1, 1_000, 100_000)
+		if err != nil {
+			return optBenchArm{}, nil, err
+		}
+		res, err := s.Best(r, rels)
+		if err != nil {
+			return optBenchArm{}, nil, err
+		}
+		arm.Candidates += len(res.Candidates)
+		arm.Pruned += res.Pruned
+		arm.Scheduled += res.Scheduled
+		arm.MeanBestResponse += res.Best.Schedule.Response
+		winners = append(winners, res.Best)
+	}
+	arm.WallSeconds = time.Since(start).Seconds()
+	if cfg.Queries > 0 {
+		arm.MeanBestResponse /= float64(cfg.Queries)
+	}
+	return arm, winners, nil
+}
+
+// runOptBench measures all three arms and writes the report to path.
+func runOptBench(path string, quick bool, seed int64) error {
+	cfg := optBenchConfig{
+		Joins: 15, Candidates: 8, Sites: 64, Queries: 24,
+		Eps: 0.5, F: 0.7, Seed: 7,
+	}
+	if quick {
+		cfg.Joins = 10
+		cfg.Queries = 8
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	report := optBenchReport{Config: cfg, GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	first, _, err := optBenchArmRun(cfg, "first-plan", 1, false)
+	if err != nil {
+		return err
+	}
+	unpruned, fullWinners, err := optBenchArmRun(cfg, "best-of-k-unpruned", cfg.Candidates, true)
+	if err != nil {
+		return err
+	}
+	pruned, fastWinners, err := optBenchArmRun(cfg, "best-of-k-pruned", cfg.Candidates, false)
+	if err != nil {
+		return err
+	}
+	report.Arms = []optBenchArm{first, unpruned, pruned}
+
+	report.IdentityVerified = true
+	for q := range fullWinners {
+		want, err := mdrs.EncodeScheduleJSON(fullWinners[q].Schedule)
+		if err != nil {
+			return err
+		}
+		got, err := mdrs.EncodeScheduleJSON(fastWinners[q].Schedule)
+		if err != nil {
+			return err
+		}
+		if fastWinners[q].Index != fullWinners[q].Index || !bytes.Equal(got, want) {
+			report.IdentityVerified = false
+		}
+	}
+
+	report.Note = fmt.Sprintf("arms share re-seeded workloads (%d queries of %d joins); "+
+		"the pruned arm fully scheduled %d of %d candidates (%.0f%% pruned) and its winner "+
+		"matched the unpruned arm byte-for-byte on every query: %v",
+		cfg.Queries, cfg.Joins, pruned.Scheduled, pruned.Candidates,
+		100*float64(pruned.Pruned)/float64(max(1, pruned.Candidates)),
+		report.IdentityVerified)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if !report.IdentityVerified {
+		return fmt.Errorf("pruned search winner diverged from unpruned (see %s)", path)
+	}
+	return nil
+}
+
+func optBenchMain(path string, quick bool, seed int64) {
+	if err := runOptBench(path, quick, seed); err != nil {
+		fmt.Fprintf(os.Stderr, "mdrs-bench: opt-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

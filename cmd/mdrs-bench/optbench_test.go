@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -opt-bench report must be valid JSON with all three arms
+// measured, the live pruned-vs-unpruned identity check passing, and the
+// pruned arm actually pruning.
+func TestRunOptBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs live benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "bench_optimizer.json")
+	if err := runOptBench(path, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report optBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid report JSON: %v", err)
+	}
+	if !report.IdentityVerified {
+		t.Fatal("pruned/unpruned identity not verified")
+	}
+	if len(report.Arms) != 3 {
+		t.Fatalf("%d arms, want 3", len(report.Arms))
+	}
+	byName := make(map[string]optBenchArm, len(report.Arms))
+	for _, a := range report.Arms {
+		if a.Candidates <= 0 || a.Scheduled <= 0 {
+			t.Fatalf("arm %q not measured: %+v", a.Arm, a)
+		}
+		if a.WallSeconds <= 0 {
+			t.Fatalf("arm %q has no wall time: %+v", a.Arm, a)
+		}
+		if a.MeanBestResponse <= 0 {
+			t.Fatalf("arm %q has no mean response: %+v", a.Arm, a)
+		}
+		if a.Scheduled+a.Pruned != a.Candidates {
+			t.Fatalf("arm %q ledger does not add up: %+v", a.Arm, a)
+		}
+		byName[a.Arm] = a
+	}
+	first, unpruned, pruned := byName["first-plan"], byName["best-of-k-unpruned"], byName["best-of-k-pruned"]
+	if first.Arm == "" || unpruned.Arm == "" || pruned.Arm == "" {
+		t.Fatalf("missing arm in %+v", report.Arms)
+	}
+	if unpruned.Pruned != 0 {
+		t.Fatalf("unpruned arm pruned %d candidates", unpruned.Pruned)
+	}
+	if pruned.Pruned == 0 {
+		t.Fatal("pruned arm never pruned")
+	}
+	if pruned.Scheduled >= unpruned.Scheduled {
+		t.Fatalf("pruned arm scheduled %d, not fewer than unpruned %d",
+			pruned.Scheduled, unpruned.Scheduled)
+	}
+	if pruned.MeanBestResponse != unpruned.MeanBestResponse {
+		t.Fatalf("pruned mean response %g != unpruned %g",
+			pruned.MeanBestResponse, unpruned.MeanBestResponse)
+	}
+	if unpruned.MeanBestResponse > first.MeanBestResponse {
+		t.Fatalf("best-of-K mean %g worse than first-plan %g",
+			unpruned.MeanBestResponse, first.MeanBestResponse)
+	}
+	if report.Note == "" {
+		t.Fatal("report note empty")
+	}
+}

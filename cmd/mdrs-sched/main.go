@@ -11,6 +11,12 @@
 //	mdrs-sched -plan plan.json -trace trace.jsonl     # decision trace as JSONL
 //	mdrs-sched -plan plan.json -trace-text            # decision trace, pretty
 //	mdrs-sched -sites 32 q1.json q2.json q3.json      # multi-query batch
+//	mdrs-sched -plan plan.json -optimize              # bound-pruned plan search
+//
+// -optimize discards the input plan's join order and re-optimizes its
+// relation catalog with the bound-pruned scheduler-in-the-loop search
+// (see -opt-candidates, -opt-seed, -opt-no-prune, -opt-exhaustive-joins);
+// -json, -v, and -chart then describe the winning candidate's schedule.
 //
 // Batch mode honors the same output flags as single-query mode: -json
 // emits the combined batch schedule, -v lists its placements, -trace
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 
 	"mdrs"
@@ -39,6 +46,15 @@ type options struct {
 	tracePath string // decision trace JSONL destination ("" = off)
 	traceText bool   // pretty-print the decision trace after the summary
 	workers   int    // scheduler pool width (0 = GOMAXPROCS)
+
+	// The -optimize mode: re-optimize the input plan's relations with
+	// the bound-pruned scheduler-in-the-loop search instead of
+	// scheduling the plan as given.
+	optimize      bool
+	optCandidates int   // sample size K for large joins
+	optSeed       int64 // candidate-sampling seed
+	optNoPrune    bool  // schedule every candidate (ablation arm)
+	optExJoins    int   // systematic-enumeration threshold (0 = default)
 }
 
 func main() {
@@ -53,6 +69,11 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "write the scheduler's decision trace to this file as JSON lines")
 	flag.BoolVar(&o.traceText, "trace-text", false, "pretty-print the scheduler's decision trace")
 	flag.IntVar(&o.workers, "sched-workers", 0, "scheduler worker pool width; 0 = GOMAXPROCS, 1 = fully serial (output is identical for every value)")
+	flag.BoolVar(&o.optimize, "optimize", false, "re-optimize the plan's relations with the bound-pruned plan search instead of scheduling the plan as given")
+	flag.IntVar(&o.optCandidates, "opt-candidates", 8, "plan-search sample size K for join counts above the enumeration threshold")
+	flag.Int64Var(&o.optSeed, "opt-seed", 1, "plan-search candidate-sampling seed")
+	flag.BoolVar(&o.optNoPrune, "opt-no-prune", false, "disable bound pruning: fully schedule every candidate (identical winner, more work)")
+	flag.IntVar(&o.optExJoins, "opt-exhaustive-joins", 0, "largest join count enumerated systematically instead of sampled (0 = search default)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
@@ -66,9 +87,20 @@ func main() {
 	}
 
 	if flag.NArg() > 0 {
+		if o.optimize {
+			fmt.Fprintln(os.Stderr, "mdrs-sched: -optimize takes a single plan (no positional arguments)")
+			os.Exit(1)
+		}
 		// Batch mode: every positional argument is a plan file; all
 		// queries are scheduled together with inter-query sharing.
 		if err := runBatch(os.Stdout, flag.Args(), o); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-sched: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if o.optimize {
+		if err := runOptimize(os.Stdout, o); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrs-sched: %v\n", err)
 			os.Exit(1)
 		}
@@ -217,17 +249,87 @@ func writePlacements(w io.Writer, s *mdrs.Schedule) {
 	}
 }
 
-func run(w io.Writer, o options) (err error) {
+// readPlan loads the -plan input (a file or stdin).
+func readPlan(o options) (*mdrs.PlanNode, error) {
 	var data []byte
+	var err error
 	if o.planPath == "-" {
 		data, err = io.ReadAll(os.Stdin)
 	} else {
 		data, err = os.ReadFile(o.planPath)
 	}
 	if err != nil {
+		return nil, err
+	}
+	return mdrs.DecodePlan(data)
+}
+
+// runOptimize treats the input plan as a relation catalog and runs the
+// bound-pruned scheduler-in-the-loop search over it: candidate join
+// plans are enumerated (small joins) or sampled (large joins), each gets
+// a cheap OPTBOUND lower bound, and only candidates whose bound beats
+// the running incumbent are fully scheduled. The winner is provably the
+// same plan the unpruned search would pick.
+func runOptimize(w io.Writer, o options) error {
+	p, err := readPlan(o)
+	if err != nil {
 		return err
 	}
-	p, err := mdrs.DecodePlan(data)
+	search, err := mdrs.NewPlanSearch(mdrs.Options{
+		Sites: o.sites, Epsilon: o.eps, F: o.f, SchedWorkers: o.workers,
+	}, o.optCandidates)
+	if err != nil {
+		return err
+	}
+	search.NoPrune = o.optNoPrune
+	search.ExhaustiveJoins = o.optExJoins
+	if err := search.Validate(); err != nil {
+		return err
+	}
+	res, err := search.Best(rand.New(rand.NewSource(o.optSeed)), p.Leaves())
+	if err != nil {
+		return err
+	}
+
+	if o.asJSON {
+		data, err := mdrs.EncodeScheduleJSON(res.Best.Schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(data))
+		return nil
+	}
+
+	mode := "sampled"
+	if res.Systematic {
+		mode = "enumerated systematically"
+	}
+	fmt.Fprintf(w, "catalog: %d relations (from the %d-join input plan)\n",
+		len(p.Leaves()), p.Joins())
+	fmt.Fprintf(w, "system: P=%d 3-dimensional sites (CPU, disk, net), ε=%.2f, f=%.2f\n",
+		o.sites, o.eps, o.f)
+	fmt.Fprintf(w, "\ncandidates: %d (%s); bound-pruned %d, fully scheduled %d\n",
+		len(res.Candidates), mode, res.Pruned, res.Scheduled)
+	fmt.Fprintf(w, "first plan (two-phase) response: %10.3f s\n",
+		res.Candidates[0].Schedule.Response)
+	fmt.Fprintf(w, "best plan (candidate %d) response: %9.3f s  (%.2fx better, bound %.3f s)\n",
+		res.Best.Index, res.Best.Schedule.Response, res.Improvement(), res.Best.Bound)
+	fmt.Fprintf(w, "best schedule: %d phases\n", len(res.Best.Schedule.Phases))
+
+	if o.chart {
+		fmt.Fprintln(w)
+		if err := mdrs.WriteScheduleText(w, res.Best.Schedule); err != nil {
+			return err
+		}
+	}
+	if o.verbose {
+		writePlacements(w, res.Best.Schedule)
+	}
+	return nil
+}
+
+func run(w io.Writer, o options) (err error) {
+	p, err := readPlan(o)
 	if err != nil {
 		return err
 	}

@@ -303,3 +303,72 @@ func TestRunTraceBadPath(t *testing.T) {
 		t.Fatal("unwritable trace path accepted")
 	}
 }
+
+func TestRunOptimizeSummaryOutput(t *testing.T) {
+	path := writePlan(t, 3)
+	var sb strings.Builder
+	o := options{planPath: path, sites: 8, eps: 0.5, f: 0.7,
+		optimize: true, optCandidates: 8, optSeed: 1}
+	if err := runOptimize(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"catalog: 4 relations", "enumerated systematically",
+		"bound-pruned", "first plan (two-phase) response:", "best plan (candidate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The pruned and unpruned -optimize runs must print the identical
+// winning candidate and emit byte-identical -json schedules.
+func TestRunOptimizeNoPruneIdentity(t *testing.T) {
+	path := writePlan(t, 4)
+	jsonOut := func(noPrune bool) string {
+		t.Helper()
+		var sb strings.Builder
+		o := options{planPath: path, sites: 12, eps: 0.5, f: 0.7, asJSON: true,
+			optimize: true, optCandidates: 8, optSeed: 2, optNoPrune: noPrune}
+		if err := runOptimize(&sb, o); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	pruned, unpruned := jsonOut(false), jsonOut(true)
+	if pruned != unpruned {
+		t.Fatal("pruned -json schedule differs from unpruned")
+	}
+	var s map[string]any
+	if err := json.Unmarshal([]byte(pruned), &s); err != nil {
+		t.Fatalf("-json output not valid JSON: %v", err)
+	}
+}
+
+func TestRunOptimizeSampledPath(t *testing.T) {
+	path := writePlan(t, 7)
+	var sb strings.Builder
+	o := options{planPath: path, sites: 8, eps: 0.5, f: 0.7,
+		optimize: true, optCandidates: 6, optSeed: 3}
+	if err := runOptimize(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "candidates: 6 (sampled)") {
+		t.Fatalf("sampled path not taken:\n%s", sb.String())
+	}
+}
+
+func TestRunOptimizeErrors(t *testing.T) {
+	path := writePlan(t, 3)
+	o := options{planPath: path, sites: 0, eps: 0.5, f: 0.7,
+		optimize: true, optCandidates: 8, optSeed: 1}
+	var sb strings.Builder
+	if err := runOptimize(&sb, o); err == nil {
+		t.Error("non-positive site count accepted")
+	}
+	o = options{planPath: path, sites: 8, eps: 0.5, f: 0.7,
+		optimize: true, optCandidates: -1, optSeed: 1}
+	if err := runOptimize(&sb, o); err == nil {
+		t.Error("negative candidate count accepted")
+	}
+}

@@ -825,9 +825,14 @@ func ShapeAblation(c Config) (*Figure, error) {
 	return fig, nil
 }
 
-// PlanSearchAblation regenerates ablation A11: two-phase optimization
-// (schedule the first random plan) against the scheduler-in-the-loop
-// best-of-K search of internal/optimizer.
+// PlanSearchAblation regenerates ablation A11 with three arms: two-phase
+// optimization (schedule the first random plan), the unpruned
+// scheduler-in-the-loop best-of-K search, and the bound-pruned
+// integrated search — plus the fraction of candidates the bound prunes
+// without a full TreeSchedule. The pruned and unpruned arms run over the
+// identical candidate pool (re-seeded generators) and the trial fails if
+// they ever disagree on the winner, so the figure doubles as a
+// continuous identity check.
 func PlanSearchAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -836,33 +841,55 @@ func PlanSearchAblation(c Config) (*Figure, error) {
 	const joins, eps, f, k = 15, 0.5, 0.7, 8
 	fig := &Figure{
 		ID:     "plansearch",
-		Title:  fmt.Sprintf("Scheduler-in-the-loop plan search, best of %d (%d joins, ε = %.1f, f = %.1f)", k, joins, eps, f),
+		Title:  fmt.Sprintf("Bound-pruned plan search, best of %d (%d joins, ε = %.1f, f = %.1f)", k, joins, eps, f),
 		XLabel: "sites",
-		YLabel: "avg response time (s)",
+		YLabel: "avg response time (s); pruned-fraction series unitless",
 	}
 	sFirst := Series{Name: "first plan (two-phase)"}
-	sBest := Series{Name: fmt.Sprintf("best of %d", k)}
+	sBest := Series{Name: fmt.Sprintf("best of %d (unpruned)", k)}
+	sPruned := Series{Name: fmt.Sprintf("best of %d (bound-pruned)", k)}
+	sFrac := Series{Name: "pruned fraction"}
 	for _, p := range c.Sites {
-		search := optimizer.Search{
+		unpruned := optimizer.Search{
 			Model: c.Model, Overlap: resource.MustOverlap(eps),
-			P: p, F: f, Candidates: k,
+			P: p, F: f, Candidates: k, NoPrune: true,
 		}
+		pruned := unpruned
+		pruned.NoPrune = false
 		yfirst := make([]float64, c.Queries)
 		ybest := make([]float64, c.Queries)
+		ypruned := make([]float64, c.Queries)
+		yfrac := make([]float64, c.Queries)
 		err := c.forEach(c.Queries, func(q int) error {
 			// The trial's generator feeds both the relation catalog and
-			// the plan search; deriving it per query decouples trials.
-			r := rand.New(rand.NewSource(c.trialSeed(int64(p), int64(q))))
+			// the plan search; re-seeding it per arm hands both searches
+			// the identical candidate pool.
+			seed := c.trialSeed(int64(p), int64(q))
+			r := rand.New(rand.NewSource(seed))
 			rels, err := optimizer.RandomRelations(r, joins+1, 1_000, 100_000)
 			if err != nil {
 				return err
 			}
-			res, err := search.Best(r, rels)
+			full, err := unpruned.Best(r, rels)
 			if err != nil {
 				return err
 			}
-			yfirst[q] = res.Candidates[0].Schedule.Response
-			ybest[q] = res.Best.Schedule.Response
+			r = rand.New(rand.NewSource(seed))
+			if _, err := optimizer.RandomRelations(r, joins+1, 1_000, 100_000); err != nil {
+				return err
+			}
+			fast, err := pruned.Best(r, rels)
+			if err != nil {
+				return err
+			}
+			if fast.Best.Index != full.Best.Index {
+				return fmt.Errorf("experiments: pruned search winner %d != unpruned %d (P=%d q=%d)",
+					fast.Best.Index, full.Best.Index, p, q)
+			}
+			yfirst[q] = full.Candidates[0].Schedule.Response
+			ybest[q] = full.Best.Schedule.Response
+			ypruned[q] = fast.Best.Schedule.Response
+			yfrac[q] = float64(fast.Pruned) / float64(len(fast.Candidates))
 			return nil
 		})
 		if err != nil {
@@ -872,8 +899,12 @@ func PlanSearchAblation(c Config) (*Figure, error) {
 		sFirst.Y = append(sFirst.Y, mean(yfirst))
 		sBest.X = append(sBest.X, float64(p))
 		sBest.Y = append(sBest.Y, mean(ybest))
+		sPruned.X = append(sPruned.X, float64(p))
+		sPruned.Y = append(sPruned.Y, mean(ypruned))
+		sFrac.X = append(sFrac.X, float64(p))
+		sFrac.Y = append(sFrac.Y, mean(yfrac))
 	}
-	fig.Series = append(fig.Series, sFirst, sBest)
+	fig.Series = append(fig.Series, sFirst, sBest, sPruned, sFrac)
 	return fig, nil
 }
 

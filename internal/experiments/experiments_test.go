@@ -272,13 +272,25 @@ func TestPlanSearchAblationFigure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkFigure(t, fig, 2)
+	checkFigure(t, fig, 4)
 	first := seriesByName(t, fig, "first plan (two-phase)")
-	best := seriesByName(t, fig, "best of 8")
+	best := seriesByName(t, fig, "best of 8 (unpruned)")
+	pruned := seriesByName(t, fig, "best of 8 (bound-pruned)")
+	frac := seriesByName(t, fig, "pruned fraction")
 	for i := range best.Y {
 		if best.Y[i] > first.Y[i]+1e-9 {
 			t.Fatalf("best-of-K %g worse than first plan %g at P=%g",
 				best.Y[i], first.Y[i], best.X[i])
+		}
+		// The bound-pruned arm must be the unpruned arm, exactly: the
+		// figure runs both over one candidate pool and A11's claim is
+		// that pruning is outcome-invisible.
+		if pruned.Y[i] != best.Y[i] {
+			t.Fatalf("bound-pruned mean %g != unpruned %g at P=%g",
+				pruned.Y[i], best.Y[i], pruned.X[i])
+		}
+		if frac.Y[i] < 0 || frac.Y[i] > 1 {
+			t.Fatalf("pruned fraction %g outside [0,1] at P=%g", frac.Y[i], frac.X[i])
 		}
 	}
 }

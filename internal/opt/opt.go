@@ -33,6 +33,36 @@ import (
 // operators. By assumption A4 this is a valid lower bound on the length
 // of any CG_f execution.
 func Bound(tt *plan.TaskTree, m costmodel.Model, ov resource.Overlap, p int, f float64) (float64, error) {
+	return bound(tt, p, f, func(spec costmodel.OpSpec) (vector.Vector, float64) {
+		c := m.Cost(spec)
+		n := m.Degree(c, f, p, ov)
+		return c.Processing, m.TPar(c, n, ov)
+	})
+}
+
+// BoundCached is Bound evaluated through a cost-model memo: every
+// per-operator derivation (cost vector, CG_f degree, T^par) goes through
+// the cache, so a caller that bounds many structurally similar plans —
+// the optimizer's bound-pruned search bounds every candidate before
+// scheduling any — prices each distinct operator spec once, and the
+// same memo entries later serve TreeSchedule on the survivors. Every
+// cached answer is bit-identical to the uncached model's, so
+// BoundCached(tt, costmodel.NewCache(m), …) == Bound(tt, m, …) exactly.
+func BoundCached(tt *plan.TaskTree, c *costmodel.Cache, ov resource.Overlap, p int, f float64) (float64, error) {
+	return bound(tt, p, f, func(spec costmodel.OpSpec) (vector.Vector, float64) {
+		n := c.Degree(spec, f, p, ov)
+		return c.Cost(spec).Processing, c.TPar(spec, n, ov)
+	})
+}
+
+// bound is the shared OPTBOUND body: eval returns one operator's
+// zero-communication processing vector and its T^par at the best CG_f
+// degree. Unlike sched.LowerBound, which takes caller-supplied clone
+// vectors of arbitrary shape, every vector here comes from
+// Model.Cost/Cache.Cost, which always allocate resource.Dims components
+// — so the AddInPlace below cannot see a dimension mismatch (audited
+// alongside the LowerBound mixed-dimension fix).
+func bound(tt *plan.TaskTree, p int, f float64, eval func(costmodel.OpSpec) (vector.Vector, float64)) (float64, error) {
 	if err := tt.Validate(); err != nil {
 		return 0, err
 	}
@@ -51,10 +81,9 @@ func Bound(tt *plan.TaskTree, m costmodel.Model, ov resource.Overlap, p int, f f
 	for _, tk := range tt.Tasks {
 		worst := 0.0
 		for _, op := range tk.Ops {
-			c := m.Cost(op.Spec)
-			total.AddInPlace(c.Processing)
-			n := m.Degree(c, f, p, ov)
-			if t := m.TPar(c, n, ov); t > worst {
+			proc, t := eval(op.Spec)
+			total.AddInPlace(proc)
+			if t > worst {
 				worst = t
 			}
 		}

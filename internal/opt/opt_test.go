@@ -313,3 +313,37 @@ func BenchmarkBound40Joins(b *testing.B) {
 		}
 	}
 }
+
+// BoundCached must be bit-identical to Bound: the cache contract says
+// every memoized derivation equals the uncached model's, and the
+// optimizer's pruning correctness leans on the two bounds agreeing.
+func TestBoundCachedMatchesBound(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	m := costmodel.Default()
+	ov := resource.MustOverlap(0.5)
+	cache := costmodel.NewCache(m)
+	for trial := 0; trial < 10; trial++ {
+		joins := 2 + r.Intn(18)
+		p := 4 + r.Intn(100)
+		pl := query.MustRandom(r, query.DefaultGenConfig(joins))
+		tt := taskTree(t, pl)
+		plain, err := Bound(tt, m, ov, p, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := BoundCached(tt, cache, ov, p, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain != cached {
+			t.Fatalf("BoundCached = %g != Bound = %g (joins=%d P=%d)", cached, plain, joins, p)
+		}
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Fatal("cache never hit across structurally repeated specs")
+	}
+	// Validation errors surface identically through the cached path.
+	if _, err := BoundCached(taskTree(t, leaf("R", 1000)), cache, ov, 0, 0.7); err == nil {
+		t.Fatal("P = 0 accepted")
+	}
+}

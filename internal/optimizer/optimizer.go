@@ -2,28 +2,81 @@
 // parallelization is "usually the result of an earlier phase of
 // conventional centralized query optimization", i.e. two-phase
 // optimization, where the plan is fixed before the scheduler sees it.
-// This package implements the natural scheduler-in-the-loop refinement:
-// sample several join orders (plans) over the same database, schedule
-// each with TreeSchedule, and keep the plan whose *scheduled parallel
-// response time* — not a centralized cost estimate — is smallest.
+// The follow-up work (Garofalakis & Ioannidis, "Multi-Resource Parallel
+// Query Scheduling and Optimization") argues the best plan is the one
+// with the best *scheduled* response time — and that integrating the
+// scheduler into the optimizer is affordable only if most candidates
+// are discarded by a cheap lower bound before the full scheduler runs.
 //
-// The measured gap between "schedule the first random plan" and
-// "best-of-K" quantifies how much response time two-phase optimization
-// leaves on the table for the multi-dimensional scheduler to recover.
+// This package implements that bound-pruned integrated search. A
+// candidate pool is enumerated per query — every distinct bushy plan
+// when the join count is small enough (ExhaustiveJoins), a shape-cycled
+// random sample above it — and each candidate is priced with the
+// OPTBOUND lower bound of internal/opt, which needs no placement loop.
+// Candidates are then scheduled in ascending-bound order against a
+// running incumbent; a candidate whose bound already meets the
+// incumbent's *scheduled* response cannot win and is pruned without
+// ever entering TreeSchedule. The pruned search provably returns the
+// same winner, with a byte-identical schedule, as scheduling every
+// candidate (the identity tests pin this): OPTBOUND never exceeds the
+// TreeSchedule response, and ties resolve by the exact lexicographic
+// (response, candidate index) key, so a pruned candidate can never have
+// beaten the incumbent that pruned it.
+//
+// The search reuses the machinery built for exactly this workload: one
+// costmodel.Cache prices every structurally repeated operator spec once
+// across all candidates (bounds and schedules share the memo), and the
+// surviving candidates are scheduled over a bounded internal/par pool
+// in fixed-size speculative chunks — chunk membership depends only on
+// bounds and the incumbent, never on goroutine timing, so the
+// pruned/scheduled counts and the winner are identical for every pool
+// width, per the PR 5 determinism contract.
 package optimizer
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
+	"mdrs/internal/opt"
+	"mdrs/internal/par"
 	"mdrs/internal/plan"
 	"mdrs/internal/query"
 	"mdrs/internal/resource"
 	"mdrs/internal/sched"
 )
 
-// Search configures a best-of-K plan search.
+// Typed search errors, for errors.Is dispatch.
+var (
+	// ErrNilRand reports a Best call with a nil random source. The
+	// sampling path draws plans from it; the requirement is uniform so a
+	// caller cannot work by accident below the enumeration threshold and
+	// fail above it.
+	ErrNilRand = errors.New("optimizer: nil random source")
+	// ErrTooFewRelations reports a Best call with fewer than two
+	// relations: with no join to order there is nothing to search.
+	ErrTooFewRelations = errors.New("optimizer: fewer than 2 relations")
+)
+
+// defaultExhaustiveJoins is the systematic-enumeration threshold when
+// Search.ExhaustiveJoins is zero: 3 joins = 4 relations = 120 distinct
+// bushy plans, small enough to bound and prune in bulk.
+const defaultExhaustiveJoins = 3
+
+// speculativeChunk is how many unpruned candidates are scheduled
+// together between incumbent updates. It is a fixed constant — never
+// derived from Workers — so which candidates get fully scheduled (and
+// therefore the pruned/scheduled counts) is invisible to pool width.
+// The first chunk is always the two-phase strawman alone, seeding the
+// incumbent before any speculation.
+const speculativeChunk = 8
+
+// Search configures a bound-pruned, scheduler-integrated plan search.
 type Search struct {
 	Model   costmodel.Model
 	Overlap resource.Overlap
@@ -31,11 +84,47 @@ type Search struct {
 	P int
 	// F is the coarse-granularity parameter.
 	F float64
-	// Candidates is the number of random plans sampled (K). Defaults to
-	// 8 when zero.
+	// Candidates is the number of random plans sampled (K) when the
+	// query is above the enumeration threshold. Defaults to 8 when zero.
 	Candidates int
 	// Shapes restricts the sampled plan shapes; nil means all four.
 	Shapes []query.Shape
+	// ExhaustiveJoins is the largest join count for which the candidate
+	// pool is the full systematic enumeration of distinct bushy plans
+	// (query.EnumerateBushy) instead of a Candidates-sized sample. Zero
+	// means the default of 3 (120 plans); negative disables systematic
+	// enumeration entirely. Values above 7 are rejected: the pool size
+	// is super-exponential (4 joins → 1680, 5 → 30240 plans).
+	ExhaustiveJoins int
+	// NoPrune disables bound pruning: every candidate is fully
+	// scheduled. The winner is identical either way (pinned by tests);
+	// the flag exists for the integration-cost ablation and as the
+	// oracle the identity tests compare against.
+	NoPrune bool
+	// MaxDegree, when positive, caps every floating operator's degree of
+	// partitioned parallelism, exactly as TreeScheduler.MaxDegree. The
+	// bound stays valid under a cap — capping can only shrink the degree
+	// range T^par is minimized over — so pruning remains exact.
+	MaxDegree int
+	// Cache, when non-nil, memoizes the cost model's derivations across
+	// every candidate's bound and schedule; it must wrap Model. Nil
+	// means a private cache per Best call — candidates of one query
+	// still share it, but nothing carries across calls.
+	Cache *costmodel.Cache
+	// Workers bounds the pool that fans candidate scheduling (0 or
+	// negative = GOMAXPROCS, 1 = fully serial). The winner, the
+	// schedule bytes, and the pruned/scheduled counts are identical for
+	// every value; only wall-clock time changes. Each candidate's own
+	// TreeSchedule runs serially (Workers=1): candidates are the
+	// parallel grain here.
+	Workers int
+	// Rec, when non-nil, receives the search counters
+	// (optimizer.candidates, optimizer.pruned, optimizer.scheduled,
+	// optimizer.searches). It is never attached to the per-candidate
+	// schedulers — concurrent candidates would interleave their decision
+	// traces on colliding (phase, op, clone) keys — and never influences
+	// the search.
+	Rec obs.Recorder
 }
 
 // Validate reports the first nonsensical configuration field.
@@ -52,6 +141,16 @@ func (s Search) Validate() error {
 	if s.Candidates < 0 {
 		return fmt.Errorf("optimizer: negative candidate count %d", s.Candidates)
 	}
+	if s.MaxDegree < 0 {
+		return fmt.Errorf("optimizer: negative parallelism cap MaxDegree = %d", s.MaxDegree)
+	}
+	if s.ExhaustiveJoins >= query.MaxEnumerateRelations {
+		return fmt.Errorf("optimizer: ExhaustiveJoins = %d exceeds the enumerable range (max %d)",
+			s.ExhaustiveJoins, query.MaxEnumerateRelations-1)
+	}
+	if s.Cache != nil && s.Cache.Model() != s.Model {
+		return errors.New("optimizer: Cache wraps a different cost model than Search.Model")
+	}
 	return nil
 }
 
@@ -62,6 +161,13 @@ func (s Search) candidates() int {
 	return s.Candidates
 }
 
+func (s Search) exhaustiveJoins() int {
+	if s.ExhaustiveJoins == 0 {
+		return defaultExhaustiveJoins
+	}
+	return s.ExhaustiveJoins
+}
+
 func (s Search) shapes() []query.Shape {
 	if len(s.Shapes) > 0 {
 		return s.Shapes
@@ -69,61 +175,254 @@ func (s Search) shapes() []query.Shape {
 	return []query.Shape{query.RandomBushy, query.LeftDeep, query.RightDeep, query.Balanced}
 }
 
-// Candidate is one sampled and scheduled plan.
+// Candidate is one enumerated candidate plan: its cheap lower bound,
+// and — when the candidate survived pruning — its full schedule.
 type Candidate struct {
-	Plan     *query.PlanNode
-	Shape    query.Shape
+	// Index is the candidate's position in enumeration order; it is the
+	// tie-break key that makes the winner deterministic.
+	Index int
+	Plan  *query.PlanNode
+	// Shape is the generator that produced a sampled candidate;
+	// systematically enumerated candidates report RandomBushy (they are
+	// bushy by construction, not drawn from a shape generator).
+	Shape query.Shape
+	// Bound is the OPTBOUND lower bound on any CG_f execution of the
+	// plan: Schedule.Response can never be below it.
+	Bound float64
+	// Schedule is the full TreeSchedule result; nil when Pruned.
 	Schedule *sched.Schedule
+	// Pruned marks candidates discarded by the bound without scheduling.
+	Pruned bool
 }
 
-// Result of a search: the winner plus every candidate, in sampling
+// Result of a search: the winner plus every candidate in enumeration
 // order (Candidates[0] is the "two-phase" strawman: the first plan
-// drawn).
+// enumerated, always fully scheduled), and the pruning ledger.
 type Result struct {
 	Best       Candidate
 	Candidates []Candidate
+	// Systematic reports whether the pool was the full bushy
+	// enumeration rather than a random sample.
+	Systematic bool
+	// Pruned counts candidates discarded by the bound alone; Scheduled
+	// counts candidates that ran the full TreeSchedule. They always sum
+	// to len(Candidates).
+	Pruned, Scheduled int
 }
 
 // Improvement returns first-candidate response / best response: how
 // much the scheduler-in-the-loop search won over scheduling the first
-// random plan.
+// plan. Zero responses are defined explicitly rather than collapsed:
+// 0/0 (both plans free) is 1, a positive first response over a
+// zero-response winner is +Inf — an infinite improvement, previously
+// misreported as "none". A result with no candidates, or whose first
+// candidate was never scheduled, reports 1.
 func (r *Result) Improvement() float64 {
-	if len(r.Candidates) == 0 || r.Best.Schedule.Response == 0 {
+	if len(r.Candidates) == 0 || r.Candidates[0].Schedule == nil || r.Best.Schedule == nil {
 		return 1
 	}
-	return r.Candidates[0].Schedule.Response / r.Best.Schedule.Response
+	first := r.Candidates[0].Schedule.Response
+	best := r.Best.Schedule.Response
+	if best == 0 {
+		if first == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return first / best
 }
 
-// Best samples plans over the given relations and returns the one whose
-// TreeSchedule response is smallest.
+// Best runs the bound-pruned search over the given relations and
+// returns the plan whose TreeSchedule response is smallest.
 func (s Search) Best(r *rand.Rand, rels []*query.Relation) (*Result, error) {
+	return s.BestCtx(context.Background(), r, rels)
+}
+
+// BestCtx is Best with a cancellation context: the search checks ctx at
+// every chunk boundary and threads it into each candidate's
+// TreeSchedule, so a cancelled search returns ctx.Err() promptly. The
+// context never influences a search decision — a run that completes is
+// bit-identical to Best.
+func (s Search) BestCtx(ctx context.Context, r *rand.Rand, rels []*query.Relation) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	ts := sched.TreeScheduler{Model: s.Model, Overlap: s.Overlap, P: s.P, F: s.F}
+	if r == nil {
+		return nil, ErrNilRand
+	}
+	if len(rels) < 2 {
+		return nil, fmt.Errorf("%w: got %d", ErrTooFewRelations, len(rels))
+	}
+
+	cands, systematic, err := s.enumerate(r, rels)
+	if err != nil {
+		return nil, err
+	}
+	cache := s.Cache
+	if cache == nil {
+		cache = costmodel.NewCache(s.Model)
+	}
+	w := par.Workers(s.Workers)
+
+	// Price every candidate with the cheap bound, fanned positionally
+	// across the pool: no placement loop runs here, only per-operator
+	// cost derivations, all landing in the shared memo.
+	trees := make([]*plan.TaskTree, len(cands))
+	errs := make([]error, len(cands))
+	par.For(w, len(cands), func(i int) {
+		tt, err := plan.NewTaskTree(plan.MustExpand(cands[i].Plan))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		b, err := opt.BoundCached(tt, cache, s.Overlap, s.P, s.F)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		trees[i], cands[i].Bound = tt, b
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Schedule in ascending-bound order against the incumbent. The
+	// two-phase strawman (candidate 0) goes first and alone: it is the
+	// ablation's baseline, it can never be pruned (no incumbent exists
+	// yet), and flushing before any speculation gives every later
+	// candidate a real incumbent to be pruned against.
+	order := make([]int, 0, len(cands))
+	for i := 1; i < len(cands); i++ {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := cands[order[a]], cands[order[b]]
+		if ca.Bound != cb.Bound {
+			return ca.Bound < cb.Bound
+		}
+		return ca.Index < cb.Index
+	})
+
+	inc := -1 // incumbent candidate index; -1 = none yet
+	// prunable reports whether the candidate at index i cannot beat the
+	// incumbent under the exact lexicographic (response, index) key:
+	// its response is at least its bound, so a strictly larger bound —
+	// or an equal bound at a larger index — loses every tie-break.
+	prunable := func(i int) bool {
+		if s.NoPrune || inc < 0 {
+			return false
+		}
+		incResp := cands[inc].Schedule.Response
+		return cands[i].Bound > incResp || (cands[i].Bound == incResp && i > inc)
+	}
+	scheduled := 0
+	flush := func(chunk []int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cerrs := make([]error, len(chunk))
+		par.For(w, len(chunk), func(j int) {
+			i := chunk[j]
+			ts := sched.TreeScheduler{
+				Model: s.Model, Overlap: s.Overlap, P: s.P, F: s.F,
+				MaxDegree: s.MaxDegree, Cache: cache, Workers: 1,
+			}
+			sc, err := ts.ScheduleCtx(ctx, trees[i])
+			if err != nil {
+				cerrs[j] = err
+				return
+			}
+			cands[i].Schedule = sc
+		})
+		// Reduce in chunk order: the surfaced error and the incumbent
+		// update are both independent of goroutine interleavings.
+		for j, i := range chunk {
+			if cerrs[j] != nil {
+				return cerrs[j]
+			}
+			scheduled++
+			if inc < 0 {
+				inc = i
+				continue
+			}
+			resp, incResp := cands[i].Schedule.Response, cands[inc].Schedule.Response
+			if resp < incResp || (resp == incResp && i < inc) {
+				inc = i
+			}
+		}
+		return nil
+	}
+
+	if err := flush([]int{0}); err != nil {
+		return nil, err
+	}
+	chunk := make([]int, 0, speculativeChunk)
+	for _, i := range order {
+		if prunable(i) {
+			cands[i].Pruned = true
+			continue
+		}
+		chunk = append(chunk, i)
+		if len(chunk) == speculativeChunk {
+			if err := flush(chunk); err != nil {
+				return nil, err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if len(chunk) > 0 {
+		if err := flush(chunk); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Result{
+		Best:       cands[inc],
+		Candidates: cands,
+		Systematic: systematic,
+		Pruned:     len(cands) - scheduled,
+		Scheduled:  scheduled,
+	}
+	if s.Rec != nil {
+		s.Rec.Count("optimizer.searches", 1)
+		s.Rec.Count("optimizer.candidates", int64(len(cands)))
+		s.Rec.Count("optimizer.pruned", int64(out.Pruned))
+		s.Rec.Count("optimizer.scheduled", int64(out.Scheduled))
+	}
+	return out, nil
+}
+
+// enumerate builds the candidate pool: the full systematic bushy
+// enumeration at or below the ExhaustiveJoins threshold, a
+// shape-cycled random sample above it. Plan generation consumes r
+// serially in candidate order, so a seeded search enumerates the same
+// pool regardless of pruning mode or pool width.
+func (s Search) enumerate(r *rand.Rand, rels []*query.Relation) ([]Candidate, bool, error) {
+	joins := len(rels) - 1
+	if max := s.exhaustiveJoins(); joins <= max && max > 0 {
+		plans, err := query.EnumerateBushy(rels)
+		if err != nil {
+			return nil, false, err
+		}
+		cands := make([]Candidate, len(plans))
+		for i, p := range plans {
+			cands[i] = Candidate{Index: i, Plan: p, Shape: query.RandomBushy}
+		}
+		return cands, true, nil
+	}
 	shapes := s.shapes()
-	out := &Result{}
-	for k := 0; k < s.candidates(); k++ {
+	cands := make([]Candidate, s.candidates())
+	for k := range cands {
 		shape := shapes[k%len(shapes)]
 		p, err := query.PlanOver(r, rels, shape)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		tt, err := plan.NewTaskTree(plan.MustExpand(p))
-		if err != nil {
-			return nil, err
-		}
-		sc, err := ts.Schedule(tt)
-		if err != nil {
-			return nil, err
-		}
-		cand := Candidate{Plan: p, Shape: shape, Schedule: sc}
-		out.Candidates = append(out.Candidates, cand)
-		if out.Best.Schedule == nil || sc.Response < out.Best.Schedule.Response {
-			out.Best = cand
-		}
+		cands[k] = Candidate{Index: k, Plan: p, Shape: shape}
 	}
-	return out, nil
+	return cands, false, nil
 }
 
 // RandomRelations draws a relation set in the paper's cardinality range.

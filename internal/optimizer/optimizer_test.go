@@ -1,12 +1,16 @@
 package optimizer
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
 	"mdrs/internal/costmodel"
+	"mdrs/internal/obs"
 	"mdrs/internal/query"
 	"mdrs/internal/resource"
+	"mdrs/internal/sched"
 )
 
 func testSearch(p, k int) Search {
@@ -27,12 +31,54 @@ func TestValidate(t *testing.T) {
 		{Model: costmodel.Default(), P: 0, F: 0.7},
 		{Model: costmodel.Default(), P: 4, F: -1},
 		{Model: costmodel.Default(), P: 4, F: 0.7, Candidates: -1},
+		{Model: costmodel.Default(), P: 4, F: 0.7, MaxDegree: -1},
+		{Model: costmodel.Default(), P: 4, F: 0.7, ExhaustiveJoins: query.MaxEnumerateRelations},
 		{P: 4, F: 0.7},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+	// A cache wrapping a different model is a configuration error: its
+	// memoized answers would disagree with Search.Model's.
+	other := costmodel.MustNew(func() costmodel.Params {
+		p := costmodel.DefaultParams()
+		p.Alpha *= 2
+		return p
+	}())
+	s := testSearch(8, 4)
+	s.Cache = costmodel.NewCache(other)
+	if err := s.Validate(); err == nil {
+		t.Error("mismatched cache model accepted")
+	}
+	s.Cache = costmodel.NewCache(s.Model)
+	if err := s.Validate(); err != nil {
+		t.Errorf("matching cache rejected: %v", err)
+	}
+}
+
+// Best must fail fast, with typed optimizer:-prefixed errors, on a nil
+// random source or fewer than two relations — previously both surfaced
+// as confusing downstream panics or generation errors.
+func TestBestInputValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	rels, err := RandomRelations(r, 5, 1000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := testSearch(8, 4).Best(nil, rels); !errors.Is(err, ErrNilRand) {
+		t.Fatalf("nil rand: err = %v, want ErrNilRand", err)
+	}
+	for _, rels := range [][]*query.Relation{nil, {}, rels[:1]} {
+		if _, err := testSearch(8, 4).Best(r, rels); !errors.Is(err, ErrTooFewRelations) {
+			t.Fatalf("%d relations: err = %v, want ErrTooFewRelations", len(rels), err)
+		}
+	}
+	// Config errors still win over input errors, matching Validate-first
+	// ordering.
+	if _, err := testSearch(0, 4).Best(nil, rels); errors.Is(err, ErrNilRand) {
+		t.Fatal("config error masked by input error")
 	}
 }
 
@@ -58,7 +104,7 @@ func TestRandomRelations(t *testing.T) {
 	}
 }
 
-func TestBestNeverWorseThanFirstCandidate(t *testing.T) {
+func TestBestNeverWorseThanAnyScheduledCandidate(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 5; trial++ {
 		rels, err := RandomRelations(r, 13, 1000, 100000)
@@ -72,7 +118,23 @@ func TestBestNeverWorseThanFirstCandidate(t *testing.T) {
 		if len(res.Candidates) != 8 {
 			t.Fatalf("candidates = %d", len(res.Candidates))
 		}
+		if res.Pruned+res.Scheduled != len(res.Candidates) {
+			t.Fatalf("pruned %d + scheduled %d != %d candidates",
+				res.Pruned, res.Scheduled, len(res.Candidates))
+		}
 		for _, c := range res.Candidates {
+			if c.Pruned != (c.Schedule == nil) {
+				t.Fatalf("candidate %d: Pruned=%v but Schedule nil=%v",
+					c.Index, c.Pruned, c.Schedule == nil)
+			}
+			if c.Pruned {
+				// A pruned candidate's bound certifies it could not win.
+				if c.Bound < res.Best.Schedule.Response {
+					t.Fatalf("candidate %d pruned with bound %g below best response %g",
+						c.Index, c.Bound, res.Best.Schedule.Response)
+				}
+				continue
+			}
 			if res.Best.Schedule.Response > c.Schedule.Response {
 				t.Fatalf("best %g beaten by candidate %g",
 					res.Best.Schedule.Response, c.Schedule.Response)
@@ -81,6 +143,23 @@ func TestBestNeverWorseThanFirstCandidate(t *testing.T) {
 		if res.Improvement() < 1 {
 			t.Fatalf("improvement %g < 1", res.Improvement())
 		}
+	}
+}
+
+// The two-phase strawman must always carry a schedule: it seeds the
+// incumbent and anchors Improvement, pruned search or not.
+func TestFirstCandidateAlwaysScheduled(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	rels, err := RandomRelations(r, 10, 1000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := testSearch(32, 12).Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates[0].Schedule == nil || res.Candidates[0].Pruned {
+		t.Fatal("first candidate was pruned")
 	}
 }
 
@@ -93,6 +172,9 @@ func TestSearchCoversShapes(t *testing.T) {
 	res, err := testSearch(8, 8).Best(r, rels)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res.Systematic {
+		t.Fatal("8-join query enumerated systematically")
 	}
 	seen := map[query.Shape]bool{}
 	for _, c := range res.Candidates {
@@ -132,7 +214,7 @@ func TestShapeRestriction(t *testing.T) {
 
 func TestDefaultCandidateCount(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
-	rels, err := RandomRelations(r, 5, 1000, 5000)
+	rels, err := RandomRelations(r, 6, 1000, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,8 +222,46 @@ func TestDefaultCandidateCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if res.Systematic {
+		t.Fatal("5-join query enumerated systematically at the default threshold")
+	}
 	if len(res.Candidates) != 8 {
 		t.Fatalf("default candidates = %d, want 8", len(res.Candidates))
+	}
+}
+
+// At or below the ExhaustiveJoins threshold the pool is the full bushy
+// enumeration: 3 joins = 4 relations = 120 distinct plans.
+func TestSystematicEnumerationBelowThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	rels, err := RandomRelations(r, 4, 1000, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := testSearch(16, 8).Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Systematic {
+		t.Fatal("3-join query not enumerated systematically")
+	}
+	if len(res.Candidates) != 120 {
+		t.Fatalf("systematic pool = %d plans, want 120", len(res.Candidates))
+	}
+	if res.Pruned == 0 {
+		t.Fatal("bound pruned nothing across 120 systematic candidates")
+	}
+
+	// A negative threshold forces sampling even on tiny queries.
+	s := testSearch(16, 8)
+	s.ExhaustiveJoins = -1
+	sampled, err := s.Best(rand.New(rand.NewSource(19)), rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Systematic || len(sampled.Candidates) != 8 {
+		t.Fatalf("ExhaustiveJoins=-1: systematic=%v candidates=%d, want sampled 8",
+			sampled.Systematic, len(sampled.Candidates))
 	}
 }
 
@@ -177,6 +297,74 @@ func TestDeepShapesBehaveAsExpected(t *testing.T) {
 	}
 }
 
+// Improvement's zero-response semantics, defined explicitly by the
+// bugfix: 0/0 is 1 (no improvement to speak of), positive/0 is +Inf
+// (an infinite improvement — previously silently reported as 1).
+func TestImprovementZeroSemantics(t *testing.T) {
+	mk := func(resp float64) *sched.Schedule { return &sched.Schedule{Response: resp} }
+	cases := []struct {
+		name        string
+		first, best float64
+		want        float64
+	}{
+		{"both zero", 0, 0, 1},
+		{"zero denominator", 5, 0, math.Inf(1)},
+		{"zero numerator impossible but defined", 0, 0, 1},
+		{"ordinary", 6, 3, 2},
+		{"no improvement", 3, 3, 1},
+	}
+	for _, c := range cases {
+		first := Candidate{Index: 0, Schedule: mk(c.first)}
+		best := Candidate{Index: 1, Schedule: mk(c.best)}
+		r := &Result{Best: best, Candidates: []Candidate{first, best}}
+		if got := r.Improvement(); got != c.want {
+			t.Errorf("%s: Improvement() = %g, want %g", c.name, got, c.want)
+		}
+	}
+	// Degenerate results stay at 1 rather than dereferencing nil.
+	empty := &Result{}
+	if got := empty.Improvement(); got != 1 {
+		t.Errorf("empty result: Improvement() = %g, want 1", got)
+	}
+	prunedFirst := &Result{
+		Best:       Candidate{Index: 1, Schedule: mk(2)},
+		Candidates: []Candidate{{Index: 0, Pruned: true}, {Index: 1, Schedule: mk(2)}},
+	}
+	if got := prunedFirst.Improvement(); got != 1 {
+		t.Errorf("nil first schedule: Improvement() = %g, want 1", got)
+	}
+}
+
+// The search counters must balance: candidates = pruned + scheduled.
+func TestSearchCounters(t *testing.T) {
+	met := obs.NewMetrics()
+	s := testSearch(64, 12)
+	s.Rec = met
+	r := rand.New(rand.NewSource(31))
+	rels, err := RandomRelations(r, 12, 1000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := met.Snapshot()
+	if got := snap.Counters["optimizer.candidates"]; got != int64(len(res.Candidates)) {
+		t.Fatalf("optimizer.candidates = %d, want %d", got, len(res.Candidates))
+	}
+	if got, want := snap.Counters["optimizer.pruned"], int64(res.Pruned); got != want {
+		t.Fatalf("optimizer.pruned = %d, want %d", got, want)
+	}
+	if got, want := snap.Counters["optimizer.scheduled"], int64(res.Scheduled); got != want {
+		t.Fatalf("optimizer.scheduled = %d, want %d", got, want)
+	}
+	if snap.Counters["optimizer.candidates"] !=
+		snap.Counters["optimizer.pruned"]+snap.Counters["optimizer.scheduled"] {
+		t.Fatal("counter arithmetic violated")
+	}
+}
+
 func BenchmarkBestOf8(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	rels, err := RandomRelations(r, 11, 1000, 100000)
@@ -184,6 +372,23 @@ func BenchmarkBestOf8(b *testing.B) {
 		b.Fatal(err)
 	}
 	s := testSearch(16, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Best(r, rels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestOf8Unpruned(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	rels, err := RandomRelations(r, 11, 1000, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := testSearch(16, 8)
+	s.NoPrune = true
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

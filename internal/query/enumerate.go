@@ -1,0 +1,74 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// MaxEnumerateRelations bounds EnumerateBushy: the number of distinct
+// bushy plans over n relations is n-th in the sequence 1, 2, 12, 120,
+// 1680, 30240, … (T(n) = Σ C(n,k)·T(k)·T(n−k) over proper splits), so
+// past eight relations a full enumeration is no longer a candidate pool
+// but a memory bomb. Callers wanting larger joins sample instead.
+const MaxEnumerateRelations = 8
+
+// EnumerateBushy returns every distinct bushy hash-join plan over the
+// given relations: all ways to split the relation set into an outer
+// (probe-side) and inner (build-side) subtree, recursively. Build/probe
+// sidedness counts — R0⋈R1 with R0 as build differs from R1 as build —
+// so two relations yield two plans, three yield twelve, four yield 120.
+//
+// The order is deterministic: subsets are enumerated as ascending
+// bitmasks over the relation list, outer-subset splits in descending
+// submask order, and subtree combinations outer-major. Plans share
+// PlanNode subtrees structurally (the expansion and scheduling layers
+// only read plans); callers must not mutate the returned trees.
+//
+// Errors mirror PlanOver's validation plus the MaxEnumerateRelations
+// guard.
+func EnumerateBushy(rels []*Relation) ([]*PlanNode, error) {
+	if len(rels) == 0 {
+		return nil, errors.New("query: no relations")
+	}
+	if len(rels) > MaxEnumerateRelations {
+		return nil, fmt.Errorf("query: %d relations exceed the %d-relation enumeration bound",
+			len(rels), MaxEnumerateRelations)
+	}
+	for _, rel := range rels {
+		if rel == nil || rel.Tuples <= 0 {
+			return nil, errors.New("query: invalid relation")
+		}
+	}
+	n := len(rels)
+	full := (1 << n) - 1
+	// trees[mask] holds every distinct bushy subtree over the relation
+	// subset mask selects, built bottom-up by popcount.
+	trees := make([][]*PlanNode, full+1)
+	for i, rel := range rels {
+		trees[1<<i] = []*PlanNode{{Relation: rel, Tuples: rel.Tuples}}
+	}
+	for mask := 1; mask <= full; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		var out []*PlanNode
+		// Each subtree's root split into (outer, inner) is unique, so
+		// iterating every proper submask as the outer side generates
+		// every tree exactly once.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			inner := mask &^ sub
+			for _, o := range trees[sub] {
+				for _, in := range trees[inner] {
+					t := o.Tuples
+					if in.Tuples > t {
+						t = in.Tuples
+					}
+					out = append(out, &PlanNode{Outer: o, Inner: in, Tuples: t})
+				}
+			}
+		}
+		trees[mask] = out
+	}
+	return trees[full], nil
+}

@@ -345,17 +345,25 @@ func operatorSchedule(ctx context.Context, p, d int, ov resource.Overlap, ops []
 // given parallelization, on any assignment, takes at least this long,
 // and the list-scheduling rule is guaranteed within (2d+1)·LB.
 // Malformed inputs that OperatorSchedule would reject — no operators, a
-// non-positive site count, or operators with no clones — contribute a
-// bound of 0 instead of panicking; callers that validate first never see
-// the difference.
+// non-positive site count, operators with no clones, or clone vectors
+// whose dimensionality disagrees with the rest of the input — contribute
+// a bound of 0 instead of panicking; callers that validate first never
+// see the difference. The reference dimensionality is the first clone
+// vector with a positive dimension; every mismatched vector is skipped
+// in both the congestion and the h(N) term.
 func LowerBound(p int, ov resource.Overlap, ops []*Op) float64 {
 	if p <= 0 {
 		return 0
 	}
 	d := 0
 	for _, op := range ops {
-		if len(op.Clones) > 0 {
-			d = op.Clones[0].Dim()
+		for _, w := range op.Clones {
+			if w.Dim() > 0 {
+				d = w.Dim()
+				break
+			}
+		}
+		if d > 0 {
 			break
 		}
 	}
@@ -367,6 +375,9 @@ func LowerBound(p int, ov resource.Overlap, ops []*Op) float64 {
 	for _, op := range ops {
 		tpar := 0.0
 		for _, w := range op.Clones {
+			if w.Dim() != d {
+				continue
+			}
 			total.AddInPlace(w)
 			if t := ov.TSeq(w); t > tpar {
 				tpar = t

@@ -123,3 +123,54 @@ func TestLowerBoundMalformedInput(t *testing.T) {
 		t.Fatalf("LB with empty op mixed in = %g, want %g", got, want)
 	}
 }
+
+// Mixed-dimension clone vectors used to reach vector.AddInPlace, whose
+// mustMatch panics — violating LowerBound's documented "contribute a
+// bound of 0 instead of panicking" contract. Mismatched vectors must be
+// skipped in both the congestion term and h(N).
+func TestLowerBoundMixedDimensionClones(t *testing.T) {
+	ov := resource.MustOverlap(0.5)
+
+	// A 2-dimensional clone among 3-dimensional ones: skipped entirely.
+	mixed := []*Op{
+		{ID: 0, Clones: []vector.Vector{{4, 0, 0}}},
+		{ID: 1, Clones: []vector.Vector{{1, 2}}}, // wrong dimension
+		{ID: 2, Clones: []vector.Vector{{0, 0, 4}}},
+	}
+	clean := []*Op{
+		{ID: 0, Clones: []vector.Vector{{4, 0, 0}}},
+		{ID: 2, Clones: []vector.Vector{{0, 0, 4}}},
+	}
+	got := LowerBound(2, ov, mixed)
+	if want := LowerBound(2, ov, clean); got != want {
+		t.Fatalf("LB with mismatched clone mixed in = %g, want %g", got, want)
+	}
+
+	// A mismatch inside one operator's own clone list: the bad clone is
+	// skipped, the matching clones still count.
+	intra := []*Op{
+		{ID: 0, Clones: []vector.Vector{{4, 0, 0}, {9, 9}, {0, 0, 4}}},
+	}
+	intraClean := []*Op{
+		{ID: 0, Clones: []vector.Vector{{4, 0, 0}, {0, 0, 4}}},
+	}
+	if got, want := LowerBound(2, ov, intra), LowerBound(2, ov, intraClean); got != want {
+		t.Fatalf("LB with intra-op mismatch = %g, want %g", got, want)
+	}
+
+	// A leading zero-dimension vector must not poison the reference
+	// dimensionality: the first positive-dimension clone sets d.
+	leadingEmpty := []*Op{
+		{ID: 0, Clones: []vector.Vector{{}}},
+		{ID: 1, Clones: []vector.Vector{{4, 0, 0}}},
+	}
+	if got, want := LowerBound(2, ov, leadingEmpty),
+		LowerBound(2, ov, []*Op{{ID: 1, Clones: []vector.Vector{{4, 0, 0}}}}); got != want {
+		t.Fatalf("LB with leading empty vector = %g, want %g", got, want)
+	}
+
+	// All-mismatched input degrades to 0, never a panic.
+	if got := LowerBound(2, ov, []*Op{{ID: 0, Clones: []vector.Vector{{}}}}); got != 0 {
+		t.Fatalf("LB(zero-dimension clones) = %g, want 0", got)
+	}
+}

@@ -116,10 +116,17 @@ type (
 	PipeSimConfig = pipesim.Config
 	// PipeSimResult compares analytic vs pipeline-simulated response.
 	PipeSimResult = pipesim.Result
-	// PlanSearch is the scheduler-in-the-loop best-of-K plan selector.
+	// PlanSearch is the bound-pruned scheduler-in-the-loop plan
+	// selector: candidates whose OPTBOUND lower bound cannot beat the
+	// running incumbent are never fully scheduled, and the outcome is
+	// provably identical to scheduling every candidate.
 	PlanSearch = optimizer.Search
-	// PlanSearchResult holds the winning plan and every candidate.
+	// PlanSearchResult holds the winning plan, every candidate, and the
+	// pruned/scheduled ledger.
 	PlanSearchResult = optimizer.Result
+	// PlanCandidate is one candidate of a PlanSearchResult: its plan,
+	// lower bound, and (unless pruned) full schedule.
+	PlanCandidate = optimizer.Candidate
 	// Shape selects an execution-plan tree shape for generation.
 	Shape = query.Shape
 	// PhasePolicy selects how tasks pack into synchronized phases.
@@ -164,6 +171,12 @@ var (
 	ErrOverloaded = serve.ErrOverloaded
 	// ErrServiceClosed reports a request submitted to a closed service.
 	ErrServiceClosed = serve.ErrClosed
+	// ErrPlanSearchNilRand reports a PlanSearch run with a nil random
+	// source.
+	ErrPlanSearchNilRand = optimizer.ErrNilRand
+	// ErrPlanSearchTooFewRelations reports a PlanSearch over fewer than
+	// two relations.
+	ErrPlanSearchTooFewRelations = optimizer.ErrTooFewRelations
 )
 
 // Plan shapes.
@@ -353,6 +366,49 @@ func OptBound(p *PlanNode, o Options) (float64, error) {
 		return 0, err
 	}
 	return opt.Bound(tt, m, ov, o.Sites, o.F)
+}
+
+// NewPlanSearch builds a bound-pruned PlanSearch from Options, sharing
+// one cost-model memo across every candidate's bound and schedule.
+// candidates is the sample size K for large joins; small joins (up to
+// the search's ExhaustiveJoins threshold, default 3) enumerate every
+// bushy plan systematically instead. The zero-value knobs of the
+// returned Search (ExhaustiveJoins, NoPrune) keep their documented
+// defaults and can be overridden before calling Best.
+func NewPlanSearch(o Options, candidates int) (PlanSearch, error) {
+	m, ov, err := o.normalize()
+	if err != nil {
+		return PlanSearch{}, err
+	}
+	s := PlanSearch{
+		Model:      m,
+		Overlap:    ov,
+		P:          o.Sites,
+		F:          o.F,
+		Candidates: candidates,
+		MaxDegree:  o.MaxDegree,
+		Cache:      NewCostCache(m),
+		Rec:        o.Rec,
+		Workers:    o.SchedWorkers,
+	}
+	if err := s.Validate(); err != nil {
+		return PlanSearch{}, err
+	}
+	return s, nil
+}
+
+// RandomRelations draws a catalog of n base relations with cardinalities
+// in [minTuples, maxTuples], the workload generator behind PlanSearch
+// experiments.
+func RandomRelations(r *rand.Rand, n, minTuples, maxTuples int) ([]*Relation, error) {
+	return optimizer.RandomRelations(r, n, minTuples, maxTuples)
+}
+
+// EnumerateBushyPlans returns every distinct bushy join plan over the
+// relations (at most query.MaxEnumerateRelations of them), in the
+// deterministic order PlanSearch uses for systematic enumeration.
+func EnumerateBushyPlans(rels []*Relation) ([]*PlanNode, error) {
+	return query.EnumerateBushy(rels)
 }
 
 // OperatorSchedule exposes the paper's Figure 3 list-scheduling rule for

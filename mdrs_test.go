@@ -245,3 +245,51 @@ func TestSchedulingServiceFacade(t *testing.T) {
 		t.Fatalf("closed service: got %v, want ErrServiceClosed", err)
 	}
 }
+
+func TestPlanSearchFacade(t *testing.T) {
+	o := mdrs.Options{Sites: 16, Epsilon: 0.5, F: 0.7}
+	s, err := mdrs.NewPlanSearch(o, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	rels, err := mdrs.RandomRelations(r, 4, 1_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Best(r, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Systematic {
+		t.Fatal("3 joins should enumerate systematically")
+	}
+	if res.Pruned+res.Scheduled != len(res.Candidates) {
+		t.Fatalf("ledger %d+%d != %d candidates", res.Pruned, res.Scheduled, len(res.Candidates))
+	}
+	var c mdrs.PlanCandidate = res.Best
+	if c.Schedule == nil || c.Schedule.Response <= 0 {
+		t.Fatal("winner has no schedule")
+	}
+	if res.Improvement() < 1 {
+		t.Fatalf("improvement %g < 1", res.Improvement())
+	}
+
+	plans, err := mdrs.EnumerateBushyPlans(rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(res.Candidates) {
+		t.Fatalf("EnumerateBushyPlans %d != candidate pool %d", len(plans), len(res.Candidates))
+	}
+
+	if _, err := s.Best(nil, rels); !errors.Is(err, mdrs.ErrPlanSearchNilRand) {
+		t.Fatalf("nil rand: got %v, want ErrPlanSearchNilRand", err)
+	}
+	if _, err := s.Best(r, rels[:1]); !errors.Is(err, mdrs.ErrPlanSearchTooFewRelations) {
+		t.Fatalf("1 relation: got %v, want ErrPlanSearchTooFewRelations", err)
+	}
+	if _, err := mdrs.NewPlanSearch(mdrs.Options{Sites: 0, Epsilon: 0.5, F: 0.7}, 8); err == nil {
+		t.Fatal("non-positive site count accepted")
+	}
+}
