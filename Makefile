@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race bench bench-placement bench-cache bench-parallel bench-serve bench-adaptive bench-opt figures trace-demo
+.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race bench bench-placement bench-cache bench-parallel bench-serve bench-adaptive bench-opt bench-opt-check figures trace-demo
 
-check: build vet race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race
+check: build vet race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race bench-opt-check
 
 build:
 	$(GO) build ./...
@@ -103,12 +103,20 @@ bench-serve:
 bench-adaptive:
 	$(GO) run ./cmd/mdrs-loadgen -compare-controller -cache 0 -templates 512 -joins 6 -sites 128 -rps 50,200,800 -duration 5s -out BENCH_adaptive.json
 
-# Regenerate BENCH_optimizer.json: the bound-pruned plan search against
-# the two-phase and unpruned best-of-K ablation arms — per-arm wall
-# clock, the candidates/pruned/scheduled ledger, and the live
-# pruned-vs-unpruned identity verdict.
+# Regenerate BENCH_optimizer.json: the four plan-search arms (two-phase
+# strawman, unpruned pool, bound-pruned pool, streaming
+# bound-interleaved) across a join-count sweep — per-arm wall clock, the
+# enumerated/pruned/scheduled ledger with peak candidate residency, the
+# dual identity verdicts, and the streaming-schedules-fewer verdict.
 bench-opt:
 	$(GO) run ./cmd/mdrs-bench -opt-bench BENCH_optimizer.json
+
+# Replay the committed BENCH_optimizer.json's deterministic check
+# corpus: fails if the committed identity verdict is false, the live
+# streaming winner diverges from the unpruned oracle, or the live
+# scheduled-count ledger regresses more than 10% over the committed one.
+bench-opt-check:
+	$(GO) run ./cmd/mdrs-bench -opt-check BENCH_optimizer.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -11,9 +11,13 @@
 //
 // -workers bounds the goroutine pool that fans out each figure's
 // per-query trials (0 = GOMAXPROCS); the output is byte-identical for
-// every worker count. -opt-bench measures the bound-pruned plan search
-// against the two-phase and unpruned best-of-K ablation arms and writes
-// BENCH_optimizer.json-format JSON to its argument, then exits. -benchjson additionally records per-figure
+// every worker count. -opt-bench measures the plan-search arms
+// (two-phase strawman, unpruned pool, bound-pruned pool, streaming
+// bound-interleaved) across a join-count sweep and writes
+// BENCH_optimizer.json-format JSON to its argument, then exits;
+// -opt-check replays the committed file's check corpus and fails on an
+// identity or ledger regression. -cpuprofile and -memprofile write
+// runtime/pprof profiles of any mode. -benchjson additionally records per-figure
 // regeneration wall times to FILE as JSON (the BENCH_sched.json format
 // tracked at the repository root), so successive PRs can compare the
 // harness's performance trajectory mechanically. -metrics attaches an
@@ -29,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mdrs/internal/experiments"
@@ -86,10 +92,20 @@ func main() {
 	metricsJSON := flag.String("metrics", "", "write run counters and timing histograms as JSON to this file")
 	cacheBench := flag.String("cache-bench", "", "measure the schedule cache and placement loop, write JSON to this file, and exit")
 	parBench := flag.String("par-bench", "", "measure scheduler Workers=1 vs Workers=N and the invariance verdict, write JSON to this file, and exit")
-	optBench := flag.String("opt-bench", "", "measure the bound-pruned plan search against its ablation arms, write JSON to this file, and exit")
+	optBench := flag.String("opt-bench", "", "measure the plan-search arms across a join sweep, write JSON to this file, and exit")
+	optCheck := flag.String("opt-check", "", "replay this committed BENCH_optimizer.json's check corpus and fail on identity or ledger regression, then exit")
 	schedWorkers := flag.Int("sched-workers", 0, "workers arm for -par-bench (0 = GOMAXPROCS, raised to at least 2)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdrs-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *cacheBench != "" {
 		cacheBenchMain(*cacheBench, *quick, *seed)
@@ -100,7 +116,19 @@ func main() {
 		return
 	}
 	if *optBench != "" {
-		optBenchMain(*optBench, *quick, *seed)
+		if err := runOptBench(*optBench, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-bench: opt-bench: %v\n", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		return
+	}
+	if *optCheck != "" {
+		if err := runOptCheck(*optCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-bench: opt-check: %v\n", err)
+			stopProfiles()
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -159,8 +187,51 @@ func main() {
 		}
 	}
 	if failed {
+		stopProfiles()
 		os.Exit(1)
 	}
+}
+
+// startProfiles starts the optional CPU profile and arms the optional
+// exit-time heap profile. The returned stop is idempotent, so callers
+// can both defer it and invoke it explicitly before os.Exit (which
+// skips defers).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdrs-bench: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mdrs-bench: memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // writeMetrics renders the run's observability snapshot to path.

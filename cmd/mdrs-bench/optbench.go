@@ -1,22 +1,32 @@
-// The -opt-bench mode: measure the bound-pruned plan search against its
-// two ablation arms and write the numbers as JSON (the
-// BENCH_optimizer.json format tracked at the repository root). Three
-// arms run over identical re-seeded workloads:
+// The -opt-bench mode: measure the plan-search arms against each other
+// across a join-count sweep and write the numbers as JSON (the
+// BENCH_optimizer.json format tracked at the repository root). Four
+// arms run over identical re-seeded workloads at every join count:
 //
 //   - first-plan: the classical two-phase strawman — schedule only the
 //     first sampled plan (a Candidates=1 search);
-//   - best-of-k-unpruned: schedule every one of the K candidates and
-//     keep the best;
-//   - best-of-k-pruned: the integrated search — compute the cheap
-//     OPTBOUND lower bound for every candidate and run the full
-//     TreeSchedule only on candidates whose bound beats the running
-//     incumbent.
+//   - best-of-k-unpruned: materialize the candidate pool and schedule
+//     every candidate;
+//   - best-of-k-pruned: the PR-8 pool search — bound every candidate,
+//     sort, and schedule only candidates whose OPTBOUND beats the
+//     running incumbent;
+//   - streaming: the bound-interleaved search — candidates are bounded
+//     as they are enumerated, held in a bounded best-first frontier,
+//     and pruned against an incumbent that tightens after every single
+//     TreeSchedule instead of every speculative chunk.
 //
-// The report records, per arm, wall-clock time and the
-// candidates/pruned/scheduled ledger, plus a live identity verdict: the
-// pruned arm must pick the same winner as the unpruned arm — same
-// candidate index, byte-identical schedule — on every query, or the
-// run fails.
+// The report records, per join count and arm, wall-clock time and the
+// enumerated/pruned/scheduled ledger plus peak candidate residency,
+// and two live identity verdicts: the pruned and streaming arms must
+// each pick the same winner as the unpruned arm — same candidate
+// index, byte-identical schedule — on every query, or the run fails.
+// At sampled join counts (5 and up) the streaming arm must also fully
+// schedule strictly fewer candidates than the pruned pool, or the run
+// fails: that inequality is the point of interleaving.
+//
+// The report embeds a small deterministic check corpus (the Check
+// section) whose streaming ledger the -opt-check mode replays against
+// the committed file.
 package main
 
 import (
@@ -32,18 +42,24 @@ import (
 )
 
 type optBenchReport struct {
-	Config     optBenchConfig `json:"config"`
-	GoMaxProcs int            `json:"gomaxprocs"`
-	Arms       []optBenchArm  `json:"arms"`
-	// IdentityVerified is true when the pruned arm's winner matched the
-	// unpruned arm's on every query: same candidate index and
-	// byte-identical schedule.
-	IdentityVerified bool   `json:"identity_verified"`
-	Note             string `json:"note"`
+	Config     optBenchConfig  `json:"config"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Sweeps     []optBenchSweep `json:"sweeps"`
+	// IdentityVerified is true when both the pruned and the streaming
+	// arm matched the unpruned arm's winner on every query of every
+	// sweep: same candidate index and byte-identical schedule.
+	IdentityVerified bool `json:"identity_verified"`
+	// StreamingFewer is true when the streaming arm fully scheduled
+	// strictly fewer candidates than the pruned pool at every sampled
+	// join count (joins >= 5).
+	StreamingFewer bool          `json:"streaming_fewer"`
+	Check          optBenchCheck `json:"check"`
+	Note           string        `json:"note"`
 }
 
 type optBenchConfig struct {
-	Joins      int     `json:"joins"`
+	// Joins is the join-count sweep; every count runs all four arms.
+	Joins      []int   `json:"joins"`
 	Candidates int     `json:"candidates"`
 	Sites      int     `json:"sites"`
 	Queries    int     `json:"queries"`
@@ -52,19 +68,74 @@ type optBenchConfig struct {
 	Seed       int64   `json:"seed"`
 }
 
+type optBenchSweep struct {
+	Joins int           `json:"joins"`
+	Arms  []optBenchArm `json:"arms"`
+}
+
 type optBenchArm struct {
 	Arm string `json:"arm"`
-	// Candidates/Pruned/Scheduled are totals across all queries.
-	Candidates       int     `json:"candidates"`
-	Pruned           int     `json:"pruned"`
-	Scheduled        int     `json:"scheduled"`
+	// Enumerated/Pruned/Scheduled/WarmHits are totals across all
+	// queries of the sweep; Pruned + Scheduled + WarmHits == Enumerated.
+	Enumerated int64 `json:"enumerated"`
+	Pruned     int64 `json:"pruned"`
+	Scheduled  int64 `json:"scheduled"`
+	WarmHits   int64 `json:"warm_hits"`
+	// PeakResident is the largest number of candidates simultaneously
+	// retained by any single query's search (pool size for the pool
+	// arms, frontier + priced for streaming).
+	PeakResident     int     `json:"peak_resident"`
 	MeanBestResponse float64 `json:"mean_best_response"`
 	WallSeconds      float64 `json:"wall_seconds"`
 }
 
+// optBenchCheck pins the deterministic quick corpus that -opt-check
+// replays: per join count, the streaming arm's total scheduled
+// candidates. The ledger is workers-invariant and seed-determined, so
+// any regression beyond the tolerance is a real behavior change.
+type optBenchCheck struct {
+	Joins     []int           `json:"joins"`
+	Queries   int             `json:"queries"`
+	Seed      int64           `json:"seed"`
+	Scheduled map[string]int64 `json:"scheduled"`
+}
+
+// optBenchQuerySeed decorrelates the workloads across the sweep while
+// keeping every arm of one (joins, query) cell on the identical
+// catalog and candidate stream.
+func optBenchQuerySeed(seed int64, joins, q int) int64 {
+	return seed + int64(1000*joins+q)
+}
+
+type optArmKind int
+
+const (
+	armFirstPlan optArmKind = iota
+	armUnpruned
+	armPruned
+	armStreaming
+)
+
+func (k optArmKind) name() string {
+	switch k {
+	case armFirstPlan:
+		return "first-plan"
+	case armUnpruned:
+		return "best-of-k-unpruned"
+	case armPruned:
+		return "best-of-k-pruned"
+	default:
+		return "streaming"
+	}
+}
+
 // optBenchSearch builds one arm's search. Each arm gets its own fresh
 // cost-model memo so the arms' wall clocks are comparable.
-func optBenchSearch(cfg optBenchConfig, candidates int, noPrune bool) (mdrs.PlanSearch, error) {
+func optBenchSearch(cfg optBenchConfig, kind optArmKind) (mdrs.PlanSearch, error) {
+	candidates := cfg.Candidates
+	if kind == armFirstPlan {
+		candidates = 1
+	}
 	s, err := mdrs.NewPlanSearch(mdrs.Options{
 		Sites:   cfg.Sites,
 		Epsilon: cfg.Eps,
@@ -73,25 +144,34 @@ func optBenchSearch(cfg optBenchConfig, candidates int, noPrune bool) (mdrs.Plan
 	if err != nil {
 		return mdrs.PlanSearch{}, err
 	}
-	s.NoPrune = noPrune
+	switch kind {
+	case armFirstPlan:
+		// The strawman never enumerates: one sampled plan, scheduled.
+		s.ExhaustiveJoins = -1
+	case armUnpruned:
+		s.NoPrune = true
+	case armStreaming:
+		s.Streaming = true
+	}
 	return s, nil
 }
 
-// optBenchArmRun runs one arm over every query workload and returns its
-// totals plus the per-query winners for the identity check.
-func optBenchArmRun(cfg optBenchConfig, name string, candidates int, noPrune bool) (optBenchArm, []mdrs.PlanCandidate, error) {
-	s, err := optBenchSearch(cfg, candidates, noPrune)
+// optBenchArmRun runs one arm over every query workload of one join
+// count and returns its totals plus the per-query winners for the
+// identity checks.
+func optBenchArmRun(cfg optBenchConfig, joins, queries int, kind optArmKind) (optBenchArm, []mdrs.PlanCandidate, error) {
+	s, err := optBenchSearch(cfg, kind)
 	if err != nil {
 		return optBenchArm{}, nil, err
 	}
-	arm := optBenchArm{Arm: name}
-	winners := make([]mdrs.PlanCandidate, 0, cfg.Queries)
+	arm := optBenchArm{Arm: kind.name()}
+	winners := make([]mdrs.PlanCandidate, 0, queries)
 	start := time.Now()
-	for q := 0; q < cfg.Queries; q++ {
+	for q := 0; q < queries; q++ {
 		// Re-seeding per query (not per arm) hands every arm the
 		// identical relation catalog and candidate stream.
-		r := rand.New(rand.NewSource(cfg.Seed + int64(q)))
-		rels, err := mdrs.RandomRelations(r, cfg.Joins+1, 1_000, 100_000)
+		r := rand.New(rand.NewSource(optBenchQuerySeed(cfg.Seed, joins, q)))
+		rels, err := mdrs.RandomRelations(r, joins+1, 1_000, 100_000)
 		if err != nil {
 			return optBenchArm{}, nil, err
 		}
@@ -99,69 +179,150 @@ func optBenchArmRun(cfg optBenchConfig, name string, candidates int, noPrune boo
 		if err != nil {
 			return optBenchArm{}, nil, err
 		}
-		arm.Candidates += len(res.Candidates)
-		arm.Pruned += res.Pruned
-		arm.Scheduled += res.Scheduled
+		arm.Enumerated += res.Enumerated
+		arm.Pruned += int64(res.Pruned)
+		arm.Scheduled += int64(res.Scheduled)
+		arm.WarmHits += int64(res.WarmHits)
+		arm.PeakResident = max(arm.PeakResident, res.PeakResident)
 		arm.MeanBestResponse += res.Best.Schedule.Response
 		winners = append(winners, res.Best)
 	}
 	arm.WallSeconds = time.Since(start).Seconds()
-	if cfg.Queries > 0 {
-		arm.MeanBestResponse /= float64(cfg.Queries)
+	if queries > 0 {
+		arm.MeanBestResponse /= float64(queries)
 	}
 	return arm, winners, nil
 }
 
-// runOptBench measures all three arms and writes the report to path.
+// optBenchIdentity reports whether got picked the unpruned arm's
+// winner on every query: same candidate index, byte-identical
+// schedule.
+func optBenchIdentity(want, got []mdrs.PlanCandidate) (bool, error) {
+	if len(want) != len(got) {
+		return false, nil
+	}
+	for q := range want {
+		w, err := mdrs.EncodeScheduleJSON(want[q].Schedule)
+		if err != nil {
+			return false, err
+		}
+		g, err := mdrs.EncodeScheduleJSON(got[q].Schedule)
+		if err != nil {
+			return false, err
+		}
+		if got[q].Index != want[q].Index || !bytes.Equal(g, w) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// optBenchSweepRun runs all four arms at one join count.
+func optBenchSweepRun(cfg optBenchConfig, joins, queries int) (optBenchSweep, bool, error) {
+	sweep := optBenchSweep{Joins: joins}
+	first, _, err := optBenchArmRun(cfg, joins, queries, armFirstPlan)
+	if err != nil {
+		return sweep, false, err
+	}
+	unpruned, oracle, err := optBenchArmRun(cfg, joins, queries, armUnpruned)
+	if err != nil {
+		return sweep, false, err
+	}
+	pruned, prunedWinners, err := optBenchArmRun(cfg, joins, queries, armPruned)
+	if err != nil {
+		return sweep, false, err
+	}
+	streaming, streamWinners, err := optBenchArmRun(cfg, joins, queries, armStreaming)
+	if err != nil {
+		return sweep, false, err
+	}
+	sweep.Arms = []optBenchArm{first, unpruned, pruned, streaming}
+
+	prunedOK, err := optBenchIdentity(oracle, prunedWinners)
+	if err != nil {
+		return sweep, false, err
+	}
+	streamOK, err := optBenchIdentity(oracle, streamWinners)
+	if err != nil {
+		return sweep, false, err
+	}
+	return sweep, prunedOK && streamOK, nil
+}
+
+// optBenchCheckRun runs the deterministic quick corpus (unpruned
+// oracle + streaming arm only) and returns the streaming ledger per
+// join count together with its identity verdict.
+func optBenchCheckRun(cfg optBenchConfig, check optBenchCheck) (map[string]int64, bool, error) {
+	sub := cfg
+	sub.Seed = check.Seed
+	ledger := make(map[string]int64, len(check.Joins))
+	identity := true
+	for _, joins := range check.Joins {
+		_, oracle, err := optBenchArmRun(sub, joins, check.Queries, armUnpruned)
+		if err != nil {
+			return nil, false, err
+		}
+		streaming, winners, err := optBenchArmRun(sub, joins, check.Queries, armStreaming)
+		if err != nil {
+			return nil, false, err
+		}
+		ok, err := optBenchIdentity(oracle, winners)
+		if err != nil {
+			return nil, false, err
+		}
+		identity = identity && ok
+		ledger[fmt.Sprintf("joins=%d", joins)] = streaming.Scheduled
+	}
+	return ledger, identity, nil
+}
+
+// runOptBench measures all arms across the sweep and writes the report
+// to path.
 func runOptBench(path string, quick bool, seed int64) error {
 	cfg := optBenchConfig{
-		Joins: 15, Candidates: 8, Sites: 64, Queries: 24,
+		Joins: []int{3, 5, 8, 9}, Candidates: 8, Sites: 64, Queries: 24,
 		Eps: 0.5, F: 0.7, Seed: 7,
 	}
 	if quick {
-		cfg.Joins = 10
+		cfg.Joins = []int{3, 5, 9}
 		cfg.Queries = 8
 	}
 	if seed != 0 {
 		cfg.Seed = seed
 	}
-	report := optBenchReport{Config: cfg, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	report := optBenchReport{
+		Config: cfg, GoMaxProcs: runtime.GOMAXPROCS(0),
+		IdentityVerified: true, StreamingFewer: true,
+	}
 
-	first, _, err := optBenchArmRun(cfg, "first-plan", 1, false)
-	if err != nil {
-		return err
-	}
-	unpruned, fullWinners, err := optBenchArmRun(cfg, "best-of-k-unpruned", cfg.Candidates, true)
-	if err != nil {
-		return err
-	}
-	pruned, fastWinners, err := optBenchArmRun(cfg, "best-of-k-pruned", cfg.Candidates, false)
-	if err != nil {
-		return err
-	}
-	report.Arms = []optBenchArm{first, unpruned, pruned}
-
-	report.IdentityVerified = true
-	for q := range fullWinners {
-		want, err := mdrs.EncodeScheduleJSON(fullWinners[q].Schedule)
+	for _, joins := range cfg.Joins {
+		sweep, identical, err := optBenchSweepRun(cfg, joins, cfg.Queries)
 		if err != nil {
 			return err
 		}
-		got, err := mdrs.EncodeScheduleJSON(fastWinners[q].Schedule)
-		if err != nil {
-			return err
-		}
-		if fastWinners[q].Index != fullWinners[q].Index || !bytes.Equal(got, want) {
-			report.IdentityVerified = false
+		report.Sweeps = append(report.Sweeps, sweep)
+		report.IdentityVerified = report.IdentityVerified && identical
+		if joins >= 5 {
+			pruned, streaming := sweep.Arms[2], sweep.Arms[3]
+			if streaming.Scheduled >= pruned.Scheduled {
+				report.StreamingFewer = false
+			}
 		}
 	}
 
-	report.Note = fmt.Sprintf("arms share re-seeded workloads (%d queries of %d joins); "+
-		"the pruned arm fully scheduled %d of %d candidates (%.0f%% pruned) and its winner "+
-		"matched the unpruned arm byte-for-byte on every query: %v",
-		cfg.Queries, cfg.Joins, pruned.Scheduled, pruned.Candidates,
-		100*float64(pruned.Pruned)/float64(max(1, pruned.Candidates)),
-		report.IdentityVerified)
+	report.Check = optBenchCheck{Joins: []int{3, 5}, Queries: 6, Seed: cfg.Seed}
+	ledger, checkIdentity, err := optBenchCheckRun(cfg, report.Check)
+	if err != nil {
+		return err
+	}
+	report.Check.Scheduled = ledger
+	report.IdentityVerified = report.IdentityVerified && checkIdentity
+
+	report.Note = fmt.Sprintf("four arms share re-seeded workloads (%d queries per join count, joins %v); "+
+		"winners of the pruned and streaming arms matched the unpruned oracle byte-for-byte on every "+
+		"query: %v; streaming scheduled strictly fewer candidates than the pruned pool at every "+
+		"sampled join count: %v",
+		cfg.Queries, cfg.Joins, report.IdentityVerified, report.StreamingFewer)
 
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
@@ -171,14 +332,52 @@ func runOptBench(path string, quick bool, seed int64) error {
 		return err
 	}
 	if !report.IdentityVerified {
-		return fmt.Errorf("pruned search winner diverged from unpruned (see %s)", path)
+		return fmt.Errorf("a pruning arm's winner diverged from the unpruned oracle (see %s)", path)
+	}
+	if !report.StreamingFewer {
+		return fmt.Errorf("streaming scheduled no fewer candidates than the pruned pool (see %s)", path)
 	}
 	return nil
 }
 
-func optBenchMain(path string, quick bool, seed int64) {
-	if err := runOptBench(path, quick, seed); err != nil {
-		fmt.Fprintf(os.Stderr, "mdrs-bench: opt-bench: %v\n", err)
-		os.Exit(1)
+// runOptCheck replays the committed report's check corpus and fails if
+// the committed run's identity verdict was false, the live replay's
+// identity verdict is false, or the live streaming ledger regressed
+// more than 10%% over the committed one at any join count.
+func runOptCheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
 	}
+	var committed optBenchReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if !committed.IdentityVerified {
+		return fmt.Errorf("%s: committed identity verdict is false", path)
+	}
+	if len(committed.Check.Joins) == 0 || committed.Check.Queries <= 0 {
+		return fmt.Errorf("%s: no check corpus recorded (regenerate with -opt-bench)", path)
+	}
+	live, identity, err := optBenchCheckRun(committed.Config, committed.Check)
+	if err != nil {
+		return err
+	}
+	if !identity {
+		return fmt.Errorf("live streaming winner diverged from the unpruned oracle on the check corpus")
+	}
+	for key, want := range committed.Check.Scheduled {
+		got, ok := live[key]
+		if !ok {
+			return fmt.Errorf("check corpus missing ledger for %s", key)
+		}
+		if float64(got) > 1.1*float64(want) {
+			return fmt.Errorf("streaming ledger regressed at %s: scheduled %d live vs %d committed (>10%%)",
+				key, got, want)
+		}
+		fmt.Printf("mdrs-bench: opt-check %s: scheduled %d live vs %d committed ok\n", key, got, want)
+	}
+	fmt.Println("mdrs-bench: opt-check: identity verified, ledger within tolerance")
+	return nil
 }
+

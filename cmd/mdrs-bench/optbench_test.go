@@ -7,9 +7,11 @@ import (
 	"testing"
 )
 
-// The -opt-bench report must be valid JSON with all three arms
-// measured, the live pruned-vs-unpruned identity check passing, and the
-// pruned arm actually pruning.
+// The -opt-bench report must be valid JSON with all four arms measured
+// at every join count of the sweep, both live identity checks passing,
+// the pruning arms actually pruning, and the streaming arm scheduling
+// fewer candidates than the pruned pool at sampled join counts. The
+// written report must then pass its own -opt-check replay.
 func TestRunOptBenchWritesReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs live benchmarks")
@@ -27,50 +29,107 @@ func TestRunOptBenchWritesReport(t *testing.T) {
 		t.Fatalf("invalid report JSON: %v", err)
 	}
 	if !report.IdentityVerified {
-		t.Fatal("pruned/unpruned identity not verified")
+		t.Fatal("pruned/streaming identity not verified")
 	}
-	if len(report.Arms) != 3 {
-		t.Fatalf("%d arms, want 3", len(report.Arms))
+	if !report.StreamingFewer {
+		t.Fatal("streaming did not schedule fewer candidates than the pruned pool")
 	}
-	byName := make(map[string]optBenchArm, len(report.Arms))
-	for _, a := range report.Arms {
-		if a.Candidates <= 0 || a.Scheduled <= 0 {
-			t.Fatalf("arm %q not measured: %+v", a.Arm, a)
+	if len(report.Sweeps) != len(report.Config.Joins) {
+		t.Fatalf("%d sweeps, want %d", len(report.Sweeps), len(report.Config.Joins))
+	}
+	for _, sweep := range report.Sweeps {
+		if len(sweep.Arms) != 4 {
+			t.Fatalf("joins=%d: %d arms, want 4", sweep.Joins, len(sweep.Arms))
 		}
-		if a.WallSeconds <= 0 {
-			t.Fatalf("arm %q has no wall time: %+v", a.Arm, a)
+		byName := make(map[string]optBenchArm, len(sweep.Arms))
+		for _, a := range sweep.Arms {
+			if a.Enumerated <= 0 || a.Scheduled <= 0 {
+				t.Fatalf("joins=%d arm %q not measured: %+v", sweep.Joins, a.Arm, a)
+			}
+			if a.WallSeconds <= 0 {
+				t.Fatalf("joins=%d arm %q has no wall time: %+v", sweep.Joins, a.Arm, a)
+			}
+			if a.MeanBestResponse <= 0 {
+				t.Fatalf("joins=%d arm %q has no mean response: %+v", sweep.Joins, a.Arm, a)
+			}
+			if a.Scheduled+a.Pruned+a.WarmHits != a.Enumerated {
+				t.Fatalf("joins=%d arm %q ledger does not add up: %+v", sweep.Joins, a.Arm, a)
+			}
+			if a.PeakResident <= 0 {
+				t.Fatalf("joins=%d arm %q has no peak residency: %+v", sweep.Joins, a.Arm, a)
+			}
+			byName[a.Arm] = a
 		}
-		if a.MeanBestResponse <= 0 {
-			t.Fatalf("arm %q has no mean response: %+v", a.Arm, a)
+		first := byName["first-plan"]
+		unpruned := byName["best-of-k-unpruned"]
+		pruned := byName["best-of-k-pruned"]
+		streaming := byName["streaming"]
+		if first.Arm == "" || unpruned.Arm == "" || pruned.Arm == "" || streaming.Arm == "" {
+			t.Fatalf("joins=%d: missing arm in %+v", sweep.Joins, sweep.Arms)
 		}
-		if a.Scheduled+a.Pruned != a.Candidates {
-			t.Fatalf("arm %q ledger does not add up: %+v", a.Arm, a)
+		if unpruned.Pruned != 0 {
+			t.Fatalf("joins=%d: unpruned arm pruned %d candidates", sweep.Joins, unpruned.Pruned)
 		}
-		byName[a.Arm] = a
+		if pruned.Pruned == 0 {
+			t.Fatalf("joins=%d: pruned arm never pruned", sweep.Joins)
+		}
+		if pruned.Scheduled >= unpruned.Scheduled {
+			t.Fatalf("joins=%d: pruned arm scheduled %d, not fewer than unpruned %d",
+				sweep.Joins, pruned.Scheduled, unpruned.Scheduled)
+		}
+		if sweep.Joins >= 5 && streaming.Scheduled >= pruned.Scheduled {
+			t.Fatalf("joins=%d: streaming scheduled %d, not fewer than pruned %d",
+				sweep.Joins, streaming.Scheduled, pruned.Scheduled)
+		}
+		if pruned.MeanBestResponse != unpruned.MeanBestResponse {
+			t.Fatalf("joins=%d: pruned mean response %g != unpruned %g",
+				sweep.Joins, pruned.MeanBestResponse, unpruned.MeanBestResponse)
+		}
+		if streaming.MeanBestResponse != unpruned.MeanBestResponse {
+			t.Fatalf("joins=%d: streaming mean response %g != unpruned %g",
+				sweep.Joins, streaming.MeanBestResponse, unpruned.MeanBestResponse)
+		}
+		if unpruned.MeanBestResponse > first.MeanBestResponse {
+			t.Fatalf("joins=%d: best-of-K mean %g worse than first-plan %g",
+				sweep.Joins, unpruned.MeanBestResponse, first.MeanBestResponse)
+		}
 	}
-	first, unpruned, pruned := byName["first-plan"], byName["best-of-k-unpruned"], byName["best-of-k-pruned"]
-	if first.Arm == "" || unpruned.Arm == "" || pruned.Arm == "" {
-		t.Fatalf("missing arm in %+v", report.Arms)
-	}
-	if unpruned.Pruned != 0 {
-		t.Fatalf("unpruned arm pruned %d candidates", unpruned.Pruned)
-	}
-	if pruned.Pruned == 0 {
-		t.Fatal("pruned arm never pruned")
-	}
-	if pruned.Scheduled >= unpruned.Scheduled {
-		t.Fatalf("pruned arm scheduled %d, not fewer than unpruned %d",
-			pruned.Scheduled, unpruned.Scheduled)
-	}
-	if pruned.MeanBestResponse != unpruned.MeanBestResponse {
-		t.Fatalf("pruned mean response %g != unpruned %g",
-			pruned.MeanBestResponse, unpruned.MeanBestResponse)
-	}
-	if unpruned.MeanBestResponse > first.MeanBestResponse {
-		t.Fatalf("best-of-K mean %g worse than first-plan %g",
-			unpruned.MeanBestResponse, first.MeanBestResponse)
+	if len(report.Check.Scheduled) != len(report.Check.Joins) {
+		t.Fatalf("check ledger has %d entries, want %d", len(report.Check.Scheduled), len(report.Check.Joins))
 	}
 	if report.Note == "" {
 		t.Fatal("report note empty")
+	}
+	// The freshly-written report must pass its own check replay.
+	if err := runOptCheck(path); err != nil {
+		t.Fatalf("opt-check of fresh report failed: %v", err)
+	}
+}
+
+// runOptCheck must reject reports whose committed verdict is false or
+// that predate the check corpus.
+func TestRunOptCheckRejectsBadReports(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, report optBenchReport) string {
+		t.Helper()
+		data, err := json.Marshal(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if err := runOptCheck(write("unverified.json", optBenchReport{})); err == nil {
+		t.Fatal("accepted a report with a false identity verdict")
+	}
+	legacy := optBenchReport{IdentityVerified: true}
+	if err := runOptCheck(write("legacy.json", legacy)); err == nil {
+		t.Fatal("accepted a report with no check corpus")
+	}
+	if err := runOptCheck(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("accepted a missing report file")
 	}
 }

@@ -17,6 +17,10 @@
 // relation catalog with the bound-pruned scheduler-in-the-loop search
 // (see -opt-candidates, -opt-seed, -opt-no-prune, -opt-exhaustive-joins);
 // -json, -v, and -chart then describe the winning candidate's schedule.
+// -opt-stream switches to the streaming bound-interleaved variant:
+// candidates are bounded and pruned as they are enumerated, with
+// O(frontier) peak memory and the provably identical winner, reaching
+// systematic enumeration up to 9 joins.
 //
 // Batch mode honors the same output flags as single-query mode: -json
 // emits the combined batch schedule, -v lists its placements, -trace
@@ -55,6 +59,7 @@ type options struct {
 	optSeed       int64 // candidate-sampling seed
 	optNoPrune    bool  // schedule every candidate (ablation arm)
 	optExJoins    int   // systematic-enumeration threshold (0 = default)
+	optStream     bool  // streaming bound-interleaved search
 }
 
 func main() {
@@ -74,6 +79,7 @@ func main() {
 	flag.Int64Var(&o.optSeed, "opt-seed", 1, "plan-search candidate-sampling seed")
 	flag.BoolVar(&o.optNoPrune, "opt-no-prune", false, "disable bound pruning: fully schedule every candidate (identical winner, more work)")
 	flag.IntVar(&o.optExJoins, "opt-exhaustive-joins", 0, "largest join count enumerated systematically instead of sampled (0 = search default)")
+	flag.BoolVar(&o.optStream, "opt-stream", false, "use the streaming bound-interleaved search: prune during enumeration with O(frontier) memory (identical winner)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.Parse()
 
@@ -283,6 +289,7 @@ func runOptimize(w io.Writer, o options) error {
 	}
 	search.NoPrune = o.optNoPrune
 	search.ExhaustiveJoins = o.optExJoins
+	search.Streaming = o.optStream
 	if err := search.Validate(); err != nil {
 		return err
 	}
@@ -304,12 +311,15 @@ func runOptimize(w io.Writer, o options) error {
 	if res.Systematic {
 		mode = "enumerated systematically"
 	}
+	if res.Streaming {
+		mode += ", streamed"
+	}
 	fmt.Fprintf(w, "catalog: %d relations (from the %d-join input plan)\n",
 		len(p.Leaves()), p.Joins())
 	fmt.Fprintf(w, "system: P=%d 3-dimensional sites (CPU, disk, net), ε=%.2f, f=%.2f\n",
 		o.sites, o.eps, o.f)
 	fmt.Fprintf(w, "\ncandidates: %d (%s); bound-pruned %d, fully scheduled %d\n",
-		len(res.Candidates), mode, res.Pruned, res.Scheduled)
+		res.Enumerated, mode, res.Pruned, res.Scheduled)
 	fmt.Fprintf(w, "first plan (two-phase) response: %10.3f s\n",
 		res.Candidates[0].Schedule.Response)
 	fmt.Fprintf(w, "best plan (candidate %d) response: %9.3f s  (%.2fx better, bound %.3f s)\n",

@@ -1,7 +1,9 @@
 package mdrs_test
 
 import (
+	"bytes"
 	"math"
+	"math/rand"
 	"testing"
 
 	"mdrs"
@@ -36,6 +38,69 @@ func FuzzDecodePlan(f *testing.F) {
 		// A valid plan must be schedulable end to end.
 		if _, err := mdrs.ScheduleQuery(p, mdrs.Options{Sites: 3, Epsilon: 0.5, F: 0.7}); err != nil {
 			t.Fatalf("accepted plan failed to schedule: %v", err)
+		}
+	})
+}
+
+// FuzzEnumerateBushyStream asserts the streaming bushy enumeration is a
+// faithful subset view of the materialized one under any pruning
+// predicate the fuzzer invents: every plan the streaming path yields
+// must appear in the materialized enumeration at exactly its reported
+// ordinal, ordinals must be strictly increasing, and with pruning
+// disabled the two paths must agree plan for plan.
+func FuzzEnumerateBushyStream(f *testing.F) {
+	f.Add(uint8(3), int64(1), uint8(0))
+	f.Add(uint8(4), int64(7), uint8(3))
+	f.Add(uint8(5), int64(42), uint8(9))
+	f.Add(uint8(1), int64(0), uint8(255))
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64, pruneRaw uint8) {
+		n := int(nRaw%5) + 1 // 1..5 relations: materialization stays cheap
+		rels, err := mdrs.RandomRelations(rand.New(rand.NewSource(seed)), n, 10, 1_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mdrs.EnumerateBushyPlans(rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encoded := make([][]byte, len(want))
+		for i, p := range want {
+			if encoded[i], err = p.Encode(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A deterministic pseudo-random pruning predicate derived from
+		// the fuzzed byte: prune proper subtrees whose tuple count hashes
+		// into the cut.
+		cut := uint64(pruneRaw % 11)
+		prune := func(p *mdrs.PlanNode) bool {
+			return cut > 0 && uint64(p.Tuples)*2654435761%11 < cut
+		}
+		var yielded int64
+		last := int64(-1)
+		err = mdrs.EnumerateBushyPlansFunc(rels, prune, func(p *mdrs.PlanNode, ord int64) error {
+			if ord <= last || ord >= int64(len(want)) {
+				t.Fatalf("ordinal %d out of order (last %d, total %d)", ord, last, len(want))
+			}
+			last = ord
+			yielded++
+			got, err := p.Encode()
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, encoded[ord]) {
+				t.Fatalf("streamed plan at ordinal %d differs from materialized", ord)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut == 0 && yielded != int64(len(want)) {
+			t.Fatalf("unpruned stream yielded %d of %d plans", yielded, len(want))
+		}
+		if mdrs.CountBushyPlans(n) != int64(len(want)) {
+			t.Fatalf("CountBushyPlans(%d) = %d, materialized %d", n, mdrs.CountBushyPlans(n), len(want))
 		}
 	})
 }

@@ -35,6 +35,7 @@ type Cache struct {
 	costs   map[OpSpec]OpCost
 	degrees map[degreeKey]int
 	clones  map[clonesKey][]vector.Vector
+	bounds  map[degreeKey]boundTerm
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -58,6 +59,15 @@ type clonesKey struct {
 	n    int
 }
 
+// boundTerm is the memoized per-operator OPTBOUND contribution: the
+// zero-communication processing vector (the operator's addend to the
+// total-work term l(S)/P) and T^par at the best uncapped CG_f degree
+// (its addend to the critical-path term).
+type boundTerm struct {
+	proc vector.Vector
+	tpar float64
+}
+
 // NewCache returns an empty memo over the given model.
 func NewCache(m Model) *Cache {
 	return &Cache{
@@ -65,6 +75,7 @@ func NewCache(m Model) *Cache {
 		costs:   make(map[OpSpec]OpCost),
 		degrees: make(map[degreeKey]int),
 		clones:  make(map[clonesKey][]vector.Vector),
+		bounds:  make(map[degreeKey]boundTerm),
 	}
 }
 
@@ -154,6 +165,33 @@ func (c *Cache) Clones(spec OpSpec, n int) []vector.Vector {
 	c.clones[k] = out
 	c.mu.Unlock()
 	return out
+}
+
+// BoundTerm returns the operator's two OPTBOUND ingredients — the
+// zero-communication processing vector and T^par at the best uncapped
+// CG_f degree — memoized by (spec, f, P, ε). Both values come from the
+// same cached Cost/Degree/TPar evaluations the unmemoized bound uses,
+// so a memoized term is bit-identical to a fresh one. The returned
+// vector is shared across callers and must be treated as read-only.
+func (c *Cache) BoundTerm(spec OpSpec, f float64, p int, ov resource.Overlap) (vector.Vector, float64) {
+	k := degreeKey{spec: spec, f: f, p: p, ov: ov}
+	c.mu.RLock()
+	bt, ok := c.bounds[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return bt.proc, bt.tpar
+	}
+	c.misses.Add(1)
+	n := c.Degree(spec, f, p, ov)
+	bt = boundTerm{proc: c.Cost(spec).Processing, tpar: c.TPar(spec, n, ov)}
+	c.mu.Lock()
+	if len(c.bounds) >= cacheMapLimit {
+		clear(c.bounds)
+	}
+	c.bounds[k] = bt
+	c.mu.Unlock()
+	return bt.proc, bt.tpar
 }
 
 // TPar evaluates Model.TPar over the cached cost of the spec. The

@@ -825,14 +825,16 @@ func ShapeAblation(c Config) (*Figure, error) {
 	return fig, nil
 }
 
-// PlanSearchAblation regenerates ablation A11 with three arms: two-phase
+// PlanSearchAblation regenerates ablation A11 with four arms: two-phase
 // optimization (schedule the first random plan), the unpruned
-// scheduler-in-the-loop best-of-K search, and the bound-pruned
-// integrated search — plus the fraction of candidates the bound prunes
-// without a full TreeSchedule. The pruned and unpruned arms run over the
-// identical candidate pool (re-seeded generators) and the trial fails if
-// they ever disagree on the winner, so the figure doubles as a
-// continuous identity check.
+// scheduler-in-the-loop best-of-K search, the bound-pruned pool search,
+// and the streaming bound-interleaved search — plus the fraction of
+// candidates the pool's bound prunes without a full TreeSchedule and
+// the (smaller) fraction the streaming search still fully schedules.
+// All search arms run over the identical candidate pool (re-seeded
+// generators) and the trial fails if any of them disagrees with the
+// unpruned winner, so the figure doubles as a continuous identity
+// check.
 func PlanSearchAblation(c Config) (*Figure, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -848,7 +850,9 @@ func PlanSearchAblation(c Config) (*Figure, error) {
 	sFirst := Series{Name: "first plan (two-phase)"}
 	sBest := Series{Name: fmt.Sprintf("best of %d (unpruned)", k)}
 	sPruned := Series{Name: fmt.Sprintf("best of %d (bound-pruned)", k)}
+	sStream := Series{Name: fmt.Sprintf("best of %d (streaming)", k)}
 	sFrac := Series{Name: "pruned fraction"}
+	sSchedFrac := Series{Name: "streaming scheduled fraction"}
 	for _, p := range c.Sites {
 		unpruned := optimizer.Search{
 			Model: c.Model, Overlap: resource.MustOverlap(eps),
@@ -856,10 +860,14 @@ func PlanSearchAblation(c Config) (*Figure, error) {
 		}
 		pruned := unpruned
 		pruned.NoPrune = false
+		streaming := pruned
+		streaming.Streaming = true
 		yfirst := make([]float64, c.Queries)
 		ybest := make([]float64, c.Queries)
 		ypruned := make([]float64, c.Queries)
+		ystream := make([]float64, c.Queries)
 		yfrac := make([]float64, c.Queries)
+		yschedfrac := make([]float64, c.Queries)
 		err := c.forEach(c.Queries, func(q int) error {
 			// The trial's generator feeds both the relation catalog and
 			// the plan search; re-seeding it per arm hands both searches
@@ -886,10 +894,24 @@ func PlanSearchAblation(c Config) (*Figure, error) {
 				return fmt.Errorf("experiments: pruned search winner %d != unpruned %d (P=%d q=%d)",
 					fast.Best.Index, full.Best.Index, p, q)
 			}
+			r = rand.New(rand.NewSource(seed))
+			if _, err := optimizer.RandomRelations(r, joins+1, 1_000, 100_000); err != nil {
+				return err
+			}
+			stream, err := streaming.Best(r, rels)
+			if err != nil {
+				return err
+			}
+			if stream.Best.Index != full.Best.Index {
+				return fmt.Errorf("experiments: streaming search winner %d != unpruned %d (P=%d q=%d)",
+					stream.Best.Index, full.Best.Index, p, q)
+			}
 			yfirst[q] = full.Candidates[0].Schedule.Response
 			ybest[q] = full.Best.Schedule.Response
 			ypruned[q] = fast.Best.Schedule.Response
+			ystream[q] = stream.Best.Schedule.Response
 			yfrac[q] = float64(fast.Pruned) / float64(len(fast.Candidates))
+			yschedfrac[q] = float64(stream.Scheduled) / float64(stream.Enumerated)
 			return nil
 		})
 		if err != nil {
@@ -901,10 +923,14 @@ func PlanSearchAblation(c Config) (*Figure, error) {
 		sBest.Y = append(sBest.Y, mean(ybest))
 		sPruned.X = append(sPruned.X, float64(p))
 		sPruned.Y = append(sPruned.Y, mean(ypruned))
+		sStream.X = append(sStream.X, float64(p))
+		sStream.Y = append(sStream.Y, mean(ystream))
 		sFrac.X = append(sFrac.X, float64(p))
 		sFrac.Y = append(sFrac.Y, mean(yfrac))
+		sSchedFrac.X = append(sSchedFrac.X, float64(p))
+		sSchedFrac.Y = append(sSchedFrac.Y, mean(yschedfrac))
 	}
-	fig.Series = append(fig.Series, sFirst, sBest, sPruned, sFrac)
+	fig.Series = append(fig.Series, sFirst, sBest, sPruned, sStream, sFrac, sSchedFrac)
 	return fig, nil
 }
 

@@ -272,25 +272,42 @@ func TestPlanSearchAblationFigure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkFigure(t, fig, 4)
+	checkFigure(t, fig, 6)
 	first := seriesByName(t, fig, "first plan (two-phase)")
 	best := seriesByName(t, fig, "best of 8 (unpruned)")
 	pruned := seriesByName(t, fig, "best of 8 (bound-pruned)")
+	stream := seriesByName(t, fig, "best of 8 (streaming)")
 	frac := seriesByName(t, fig, "pruned fraction")
+	schedFrac := seriesByName(t, fig, "streaming scheduled fraction")
 	for i := range best.Y {
 		if best.Y[i] > first.Y[i]+1e-9 {
 			t.Fatalf("best-of-K %g worse than first plan %g at P=%g",
 				best.Y[i], first.Y[i], best.X[i])
 		}
-		// The bound-pruned arm must be the unpruned arm, exactly: the
-		// figure runs both over one candidate pool and A11's claim is
-		// that pruning is outcome-invisible.
+		// The bound-pruned and streaming arms must be the unpruned arm,
+		// exactly: the figure runs all three over one candidate pool and
+		// A11's claim is that pruning is outcome-invisible.
 		if pruned.Y[i] != best.Y[i] {
 			t.Fatalf("bound-pruned mean %g != unpruned %g at P=%g",
 				pruned.Y[i], best.Y[i], pruned.X[i])
 		}
+		if stream.Y[i] != best.Y[i] {
+			t.Fatalf("streaming mean %g != unpruned %g at P=%g",
+				stream.Y[i], best.Y[i], stream.X[i])
+		}
 		if frac.Y[i] < 0 || frac.Y[i] > 1 {
 			t.Fatalf("pruned fraction %g outside [0,1] at P=%g", frac.Y[i], frac.X[i])
+		}
+		// Streaming tightens the incumbent after every schedule, so it
+		// never fully schedules more candidates than the pool leaves
+		// unpruned.
+		if schedFrac.Y[i] <= 0 || schedFrac.Y[i] > 1 {
+			t.Fatalf("streaming scheduled fraction %g outside (0,1] at P=%g",
+				schedFrac.Y[i], schedFrac.X[i])
+		}
+		if schedFrac.Y[i] > 1-frac.Y[i]+1e-9 {
+			t.Fatalf("streaming scheduled fraction %g exceeds pool's unpruned fraction %g at P=%g",
+				schedFrac.Y[i], 1-frac.Y[i], schedFrac.X[i])
 		}
 	}
 }

@@ -50,8 +50,7 @@ func Bound(tt *plan.TaskTree, m costmodel.Model, ov resource.Overlap, p int, f f
 // BoundCached(tt, costmodel.NewCache(m), …) == Bound(tt, m, …) exactly.
 func BoundCached(tt *plan.TaskTree, c *costmodel.Cache, ov resource.Overlap, p int, f float64) (float64, error) {
 	return bound(tt, p, f, func(spec costmodel.OpSpec) (vector.Vector, float64) {
-		n := c.Degree(spec, f, p, ov)
-		return c.Cost(spec).Processing, c.TPar(spec, n, ov)
+		return c.BoundTerm(spec, f, p, ov)
 	})
 }
 

@@ -1,0 +1,131 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+)
+
+func subtreeRels(n int) []*query.Relation {
+	rels := make([]*query.Relation, n)
+	for i := range rels {
+		rels[i] = &query.Relation{Name: string(rune('A' + i)), Tuples: 1000 * (i*i + 1)}
+	}
+	return rels
+}
+
+// The composed root bound must agree with the full task-tree OPTBOUND
+// on every enumerated plan — the only admissible difference is the
+// floating-point summation order of the congestion term.
+func TestSubtreeBoundMatchesFullBound(t *testing.T) {
+	cache := costmodel.NewCache(costmodel.Default())
+	ov := resource.MustOverlap(0.5)
+	const p, f = 16, 0.7
+	for _, n := range []int{2, 3, 4, 5} {
+		rels := subtreeRels(n)
+		plans, err := query.EnumerateBushy(rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := NewSubtreeBounds(cache, ov, p, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, pl := range plans {
+			want, err := BoundCached(taskTree(t, pl), cache, ov, p, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sb.BoundOnce(pl)
+			if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+				t.Fatalf("n=%d plan %d: composed bound %.15g, task-tree bound %.15g", n, i, got, want)
+			}
+		}
+	}
+}
+
+// Monotonicity: a subtree's bound never exceeds the bound of any plan
+// containing it — the exactness contract of streaming subtree pruning.
+func TestSubtreeBoundMonotoneUnderComposition(t *testing.T) {
+	cache := costmodel.NewCache(costmodel.Default())
+	ov := resource.MustOverlap(0.5)
+	sb, err := NewSubtreeBounds(cache, ov, 8, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := query.EnumerateBushy(subtreeRels(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow summation-order slack: the containing bound is composed too,
+	// so the comparison is exact in real arithmetic and ulp-tight here.
+	const slack = 1e-12
+	var walk func(root, n *query.PlanNode, rootBound float64)
+	walk = func(root, n *query.PlanNode, rootBound float64) {
+		if b := sb.Bound(n); b > rootBound*(1+slack) {
+			t.Fatalf("subtree bound %.15g exceeds containing plan's bound %.15g", b, rootBound)
+		}
+		if n.IsLeaf() {
+			return
+		}
+		walk(root, n.Outer, rootBound)
+		walk(root, n.Inner, rootBound)
+	}
+	for _, pl := range plans {
+		walk(pl, pl, sb.Bound(pl))
+	}
+}
+
+// The memo must price shared DP subtrees once: pricing every plan of
+// the n=4 enumeration touches far fewer distinct specs than pricing
+// each plan in isolation.
+func TestSubtreeBoundMemoSharesStructure(t *testing.T) {
+	cache := costmodel.NewCache(costmodel.Default())
+	ov := resource.MustOverlap(0.5)
+	sb, err := NewSubtreeBounds(cache, ov, 16, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := query.EnumerateBushy(subtreeRels(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pl := range plans {
+		sb.BoundOnce(pl)
+	}
+	// 120 plans × 7 operators = 840 evaluations unshared. Shared: the DP
+	// holds every proper subtree once (4 leaves + 2-rel and 3-rel
+	// subtrees) plus 2 evaluations per root.
+	unshared := int64(len(plans) * 7)
+	if got := sb.Terms(); got >= unshared/2 {
+		t.Fatalf("composer evaluated %d operator terms; want structural sharing well under %d", got, unshared)
+	}
+	// Memoized re-pricing of a full plan is free.
+	before := sb.Terms()
+	sb.Bound(plans[0])
+	after0 := sb.Terms()
+	sb.Bound(plans[0])
+	if sb.Terms() != after0 {
+		t.Fatal("memoized Bound re-evaluated operator terms")
+	}
+	if after0 < before {
+		t.Fatal("term counter went backwards")
+	}
+}
+
+func TestNewSubtreeBoundsValidation(t *testing.T) {
+	cache := costmodel.NewCache(costmodel.Default())
+	ov := resource.MustOverlap(0.5)
+	if _, err := NewSubtreeBounds(nil, ov, 8, 0.7); err == nil {
+		t.Error("nil cache accepted")
+	}
+	if _, err := NewSubtreeBounds(cache, ov, 0, 0.7); err == nil {
+		t.Error("P = 0 accepted")
+	}
+	if _, err := NewSubtreeBounds(cache, ov, 8, -1); err == nil {
+		t.Error("negative f accepted")
+	}
+}

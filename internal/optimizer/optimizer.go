@@ -61,6 +61,13 @@ var (
 	// ErrTooFewRelations reports a Best call with fewer than two
 	// relations: with no join to order there is nothing to search.
 	ErrTooFewRelations = errors.New("optimizer: fewer than 2 relations")
+	// ErrEnumerate reports a failure building the candidate pool — the
+	// relation set broke the enumerator's validation (a relation count
+	// beyond the materializing or streaming ceiling, a nil relation, a
+	// non-positive cardinality) or the shape sampler rejected it. The
+	// underlying query-layer error is wrapped and inspectable via
+	// errors.Is/As.
+	ErrEnumerate = errors.New("optimizer: candidate enumeration failed")
 )
 
 // defaultExhaustiveJoins is the systematic-enumeration threshold when
@@ -91,10 +98,14 @@ type Search struct {
 	Shapes []query.Shape
 	// ExhaustiveJoins is the largest join count for which the candidate
 	// pool is the full systematic enumeration of distinct bushy plans
-	// (query.EnumerateBushy) instead of a Candidates-sized sample. Zero
-	// means the default of 3 (120 plans); negative disables systematic
-	// enumeration entirely. Values above 7 are rejected: the pool size
-	// is super-exponential (4 joins → 1680, 5 → 30240 plans).
+	// instead of a Candidates-sized sample. Zero means the default of 3
+	// (120 plans); negative disables systematic enumeration entirely.
+	// Values of 9 and above are rejected outright (the streaming
+	// enumerator tops out at 10 relations); values of 7 and 8 are only
+	// reachable by the streaming search — the materializing pool returns
+	// ErrEnumerate past query.MaxEnumerateRelations. The pool size is
+	// super-exponential (4 joins → 1680, 5 → 30240 plans), so even
+	// streamed systematic search past 5 joins is a deliberate choice.
 	ExhaustiveJoins int
 	// NoPrune disables bound pruning: every candidate is fully
 	// scheduled. The winner is identical either way (pinned by tests);
@@ -111,6 +122,27 @@ type Search struct {
 	// means a private cache per Best call — candidates of one query
 	// still share it, but nothing carries across calls.
 	Cache *costmodel.Cache
+	// Streaming switches BestCtx to the streaming bound-interleaved
+	// search: candidates are enumerated through query.EnumerateBushyFunc
+	// with per-subtree OPTBOUND pruning inside the subset DP (systematic
+	// pools), ordered best-first through a bounded frontier, and
+	// scheduled serially against an incumbent that updates after every
+	// schedule. The winner and its schedule bytes are identical to the
+	// pool-then-prune search (the identity corpus pins this); only the
+	// amount of work — TreeSchedule invocations, peak candidate
+	// residency — changes. NoPrune is ignored when Streaming is set: the
+	// unpruned pool search is the oracle the streaming search is
+	// verified against.
+	Streaming bool
+	// Warm, when non-nil, is consulted before each surviving candidate
+	// is scheduled; returning a schedule counts the candidate as a warm
+	// hit instead of a TreeSchedule invocation. The hook must implement
+	// an exactness contract: a returned schedule must be byte-identical
+	// to what TreeSchedule would produce for that task tree under this
+	// search's parameters (the serve layer satisfies it by keying its
+	// schedule cache on TreeScheduler.Fingerprint). Only the streaming
+	// search consults Warm; the pool path stays the PR 8 oracle.
+	Warm func(*plan.TaskTree) (*sched.Schedule, bool)
 	// Workers bounds the pool that fans candidate scheduling (0 or
 	// negative = GOMAXPROCS, 1 = fully serial). The winner, the
 	// schedule bytes, and the pruned/scheduled counts are identical for
@@ -144,9 +176,9 @@ func (s Search) Validate() error {
 	if s.MaxDegree < 0 {
 		return fmt.Errorf("optimizer: negative parallelism cap MaxDegree = %d", s.MaxDegree)
 	}
-	if s.ExhaustiveJoins >= query.MaxEnumerateRelations {
+	if s.ExhaustiveJoins >= query.MaxStreamRelations {
 		return fmt.Errorf("optimizer: ExhaustiveJoins = %d exceeds the enumerable range (max %d)",
-			s.ExhaustiveJoins, query.MaxEnumerateRelations-1)
+			s.ExhaustiveJoins, query.MaxStreamRelations-1)
 	}
 	if s.Cache != nil && s.Cache.Model() != s.Model {
 		return errors.New("optimizer: Cache wraps a different cost model than Search.Model")
@@ -195,19 +227,46 @@ type Candidate struct {
 	Pruned bool
 }
 
-// Result of a search: the winner plus every candidate in enumeration
-// order (Candidates[0] is the "two-phase" strawman: the first plan
-// enumerated, always fully scheduled), and the pruning ledger.
+// Result of a search: the winner plus the retained candidates in
+// enumeration order (Candidates[0] is the "two-phase" strawman: the
+// first plan enumerated, always fully priced), and the pruning ledger.
+//
+// Pool searches retain every candidate, pruned ones included, and
+// Pruned + Scheduled == len(Candidates). Streaming systematic searches
+// never materialize the pool: Candidates holds only the candidates that
+// were actually priced (scheduled or warm-served), still in enumeration
+// order, and Pruned counts everything else out of Enumerated — whether
+// it was discarded at arrival by its own bound or never even built
+// because a shared subtree was discarded first (SubtreePruned tallies
+// the subtree discards). In every mode
+// Pruned + Scheduled + WarmHits == Enumerated.
 type Result struct {
 	Best       Candidate
 	Candidates []Candidate
 	// Systematic reports whether the pool was the full bushy
 	// enumeration rather than a random sample.
 	Systematic bool
-	// Pruned counts candidates discarded by the bound alone; Scheduled
-	// counts candidates that ran the full TreeSchedule. They always sum
-	// to len(Candidates).
+	// Streaming reports whether the streaming bound-interleaved search
+	// produced this result.
+	Streaming bool
+	// Pruned counts candidates discarded by a bound without being
+	// scheduled; Scheduled counts full TreeSchedule invocations.
 	Pruned, Scheduled int
+	// Enumerated is the total size of the candidate space the search
+	// covered: len(Candidates) for pool searches, the full T(n) count
+	// for streaming systematic searches (int64: T(10) ≈ 1.76e10).
+	Enumerated int64
+	// SubtreePruned counts proper subtrees the streaming subset DP
+	// discarded against the incumbent (not candidates — one discarded
+	// subtree removes many candidates, all accounted in Pruned).
+	SubtreePruned int64
+	// WarmHits counts candidates served by the Warm hook instead of
+	// TreeSchedule.
+	WarmHits int
+	// PeakResident is the largest number of unscheduled candidate plans
+	// the search held at once: the pool size for pool searches, the
+	// bounded frontier high-water mark for streaming systematic ones.
+	PeakResident int
 }
 
 // Improvement returns first-candidate response / best response: how
@@ -253,6 +312,9 @@ func (s Search) BestCtx(ctx context.Context, r *rand.Rand, rels []*query.Relatio
 	if len(rels) < 2 {
 		return nil, fmt.Errorf("%w: got %d", ErrTooFewRelations, len(rels))
 	}
+	if s.Streaming {
+		return s.bestStreaming(ctx, r, rels)
+	}
 
 	cands, systematic, err := s.enumerate(r, rels)
 	if err != nil {
@@ -264,28 +326,9 @@ func (s Search) BestCtx(ctx context.Context, r *rand.Rand, rels []*query.Relatio
 	}
 	w := par.Workers(s.Workers)
 
-	// Price every candidate with the cheap bound, fanned positionally
-	// across the pool: no placement loop runs here, only per-operator
-	// cost derivations, all landing in the shared memo.
-	trees := make([]*plan.TaskTree, len(cands))
-	errs := make([]error, len(cands))
-	par.For(w, len(cands), func(i int) {
-		tt, err := plan.NewTaskTree(plan.MustExpand(cands[i].Plan))
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		b, err := opt.BoundCached(tt, cache, s.Overlap, s.P, s.F)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		trees[i], cands[i].Bound = tt, b
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	trees, err := s.boundCandidates(cache, cands)
+	if err != nil {
+		return nil, err
 	}
 
 	// Schedule in ascending-bound order against the incumbent. The
@@ -379,19 +422,60 @@ func (s Search) BestCtx(ctx context.Context, r *rand.Rand, rels []*query.Relatio
 	}
 
 	out := &Result{
-		Best:       cands[inc],
-		Candidates: cands,
-		Systematic: systematic,
-		Pruned:     len(cands) - scheduled,
-		Scheduled:  scheduled,
+		Best:         cands[inc],
+		Candidates:   cands,
+		Systematic:   systematic,
+		Pruned:       len(cands) - scheduled,
+		Scheduled:    scheduled,
+		Enumerated:   int64(len(cands)),
+		PeakResident: len(cands),
 	}
-	if s.Rec != nil {
-		s.Rec.Count("optimizer.searches", 1)
-		s.Rec.Count("optimizer.candidates", int64(len(cands)))
-		s.Rec.Count("optimizer.pruned", int64(out.Pruned))
-		s.Rec.Count("optimizer.scheduled", int64(out.Scheduled))
-	}
+	s.record(out)
 	return out, nil
+}
+
+// record emits the search counters for one completed result.
+func (s Search) record(out *Result) {
+	if s.Rec == nil {
+		return
+	}
+	s.Rec.Count("optimizer.searches", 1)
+	s.Rec.Count("optimizer.candidates", out.Enumerated)
+	s.Rec.Count("optimizer.pruned", int64(out.Pruned))
+	s.Rec.Count("optimizer.scheduled", int64(out.Scheduled))
+	if out.Streaming {
+		s.Rec.Count("optimizer.warm_hits", int64(out.WarmHits))
+		s.Rec.Count("optimizer.subtree_pruned", out.SubtreePruned)
+	}
+}
+
+// boundCandidates prices every candidate with the cheap OPTBOUND,
+// fanned positionally across the pool: no placement loop runs here,
+// only per-operator cost derivations, all landing in the shared memo.
+// It fills each Candidate.Bound and returns the expanded task trees.
+func (s Search) boundCandidates(cache *costmodel.Cache, cands []Candidate) ([]*plan.TaskTree, error) {
+	w := par.Workers(s.Workers)
+	trees := make([]*plan.TaskTree, len(cands))
+	errs := make([]error, len(cands))
+	par.For(w, len(cands), func(i int) {
+		tt, err := plan.NewTaskTree(plan.MustExpand(cands[i].Plan))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		b, err := opt.BoundCached(tt, cache, s.Overlap, s.P, s.F)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		trees[i], cands[i].Bound = tt, b
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return trees, nil
 }
 
 // enumerate builds the candidate pool: the full systematic bushy
@@ -404,7 +488,7 @@ func (s Search) enumerate(r *rand.Rand, rels []*query.Relation) ([]Candidate, bo
 	if max := s.exhaustiveJoins(); joins <= max && max > 0 {
 		plans, err := query.EnumerateBushy(rels)
 		if err != nil {
-			return nil, false, err
+			return nil, false, fmt.Errorf("%w: %w", ErrEnumerate, err)
 		}
 		cands := make([]Candidate, len(plans))
 		for i, p := range plans {
@@ -418,7 +502,7 @@ func (s Search) enumerate(r *rand.Rand, rels []*query.Relation) ([]Candidate, bo
 		shape := shapes[k%len(shapes)]
 		p, err := query.PlanOver(r, rels, shape)
 		if err != nil {
-			return nil, false, err
+			return nil, false, fmt.Errorf("%w: %w", ErrEnumerate, err)
 		}
 		cands[k] = Candidate{Index: k, Plan: p, Shape: shape}
 	}

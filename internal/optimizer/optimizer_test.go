@@ -32,7 +32,7 @@ func TestValidate(t *testing.T) {
 		{Model: costmodel.Default(), P: 4, F: -1},
 		{Model: costmodel.Default(), P: 4, F: 0.7, Candidates: -1},
 		{Model: costmodel.Default(), P: 4, F: 0.7, MaxDegree: -1},
-		{Model: costmodel.Default(), P: 4, F: 0.7, ExhaustiveJoins: query.MaxEnumerateRelations},
+		{Model: costmodel.Default(), P: 4, F: 0.7, ExhaustiveJoins: query.MaxStreamRelations},
 		{P: 4, F: 0.7},
 	}
 	for i, s := range bad {

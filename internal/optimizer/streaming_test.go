@@ -1,0 +1,375 @@
+package optimizer
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/sched"
+)
+
+// streamCorpus extends the identity corpus with joins = 9 (10
+// relations — past the materializing enumeration ceiling, sampled by
+// both searches).
+func streamCorpus() []corpusCase {
+	cs := corpus()
+	for _, p := range []int{10, 100} {
+		cs = append(cs, corpusCase{joins: 9, p: p, seed: int64(1000*9 + p)})
+	}
+	return cs
+}
+
+// The streaming tentpole contract: the streaming bound-interleaved
+// search returns the identical winning plan, with a byte-identical
+// schedule, as the unpruned pool oracle — for every corpus entry and
+// every Workers width — while never scheduling more candidates than
+// the PR 8 pruned pool search.
+func TestStreamingSearchIdentityAcrossCorpus(t *testing.T) {
+	streamedFewerSomewhere := false
+	for _, c := range streamCorpus() {
+		rels := c.relations(t)
+
+		oracle := c.search(8)
+		oracle.NoPrune = true
+		oracle.Workers = 1
+		want, err := oracle.Best(rand.New(rand.NewSource(c.seed+1)), rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes := encodeSchedule(t, want.Best.Schedule)
+
+		pool := c.search(8)
+		pool.Workers = 1
+		pruned, err := pool.Best(rand.New(rand.NewSource(c.seed+1)), rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{1, 4} {
+			s := c.search(8)
+			s.Streaming = true
+			s.Workers = workers
+			got, err := s.Best(rand.New(rand.NewSource(c.seed+1)), rels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Streaming {
+				t.Fatalf("joins=%d P=%d: result not marked streaming", c.joins, c.p)
+			}
+			if got.Best.Index != want.Best.Index {
+				t.Fatalf("joins=%d P=%d workers=%d: streaming winner %d, oracle winner %d",
+					c.joins, c.p, workers, got.Best.Index, want.Best.Index)
+			}
+			if !bytes.Equal(encodeSchedule(t, got.Best.Schedule), wantBytes) {
+				t.Fatalf("joins=%d P=%d workers=%d: streaming winner schedule differs from oracle",
+					c.joins, c.p, workers)
+			}
+			if int64(got.Pruned)+int64(got.Scheduled)+int64(got.WarmHits) != got.Enumerated {
+				t.Fatalf("joins=%d P=%d: ledger %d+%d+%d != enumerated %d",
+					c.joins, c.p, got.Pruned, got.Scheduled, got.WarmHits, got.Enumerated)
+			}
+			// The sampled pools are identical, so streaming's
+			// after-every-schedule incumbent can only prune more than the
+			// pool's chunked one. (Systematic streaming covers the same
+			// candidate space through the subset DP; the frontier keeps
+			// its scheduled set comparable but not provably nested, so
+			// the inequality is asserted on sampled cases only.)
+			if !got.Systematic && got.Scheduled > pruned.Scheduled {
+				t.Fatalf("joins=%d P=%d workers=%d: streaming scheduled %d > pool pruned %d",
+					c.joins, c.p, workers, got.Scheduled, pruned.Scheduled)
+			}
+			if got.Scheduled < pruned.Scheduled {
+				streamedFewerSomewhere = true
+			}
+			// Every priced candidate's achieved response respects its
+			// recorded lower bound (tolerance: composed-bound summation
+			// order may differ in the last ulps).
+			for _, cand := range got.Candidates {
+				if cand.Schedule == nil {
+					t.Fatalf("joins=%d P=%d: retained candidate %d has no schedule", c.joins, c.p, cand.Index)
+				}
+				if cand.Schedule.Response < cand.Bound*(1-1e-9) {
+					t.Fatalf("joins=%d P=%d: candidate %d response %.15g below bound %.15g",
+						c.joins, c.p, cand.Index, cand.Schedule.Response, cand.Bound)
+				}
+			}
+		}
+	}
+	if !streamedFewerSomewhere {
+		t.Error("streaming search never scheduled fewer candidates than the pool search anywhere in the corpus")
+	}
+}
+
+// Systematic streaming past the default threshold: 4 joins = 1680
+// candidates, streamed through the subset DP with a bounded frontier.
+// The winner must match the unpruned pool oracle byte for byte, and
+// peak residency must be the frontier cap, not the candidate count.
+func TestStreamingSystematicFourJoins(t *testing.T) {
+	c := corpusCase{joins: 4, p: 16, seed: 4016}
+	rels := c.relations(t)
+
+	oracle := c.search(8)
+	oracle.NoPrune = true
+	oracle.Workers = 1
+	oracle.ExhaustiveJoins = 4
+	want, err := oracle.Best(rand.New(rand.NewSource(1)), rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Systematic || len(want.Candidates) != 1680 {
+		t.Fatalf("oracle pool: systematic=%v candidates=%d, want 1680 systematic", want.Systematic, len(want.Candidates))
+	}
+
+	s := c.search(8)
+	s.Streaming = true
+	s.ExhaustiveJoins = 4
+	got, err := s.Best(rand.New(rand.NewSource(1)), rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Systematic || got.Enumerated != 1680 {
+		t.Fatalf("streaming: systematic=%v enumerated=%d, want 1680 systematic", got.Systematic, got.Enumerated)
+	}
+	if got.Best.Index != want.Best.Index {
+		t.Fatalf("streaming winner %d, oracle winner %d", got.Best.Index, want.Best.Index)
+	}
+	if !bytes.Equal(encodeSchedule(t, got.Best.Schedule), encodeSchedule(t, want.Best.Schedule)) {
+		t.Fatal("streaming winner schedule differs from oracle")
+	}
+	if got.PeakResident > streamFrontierCap+1 {
+		t.Fatalf("peak residency %d exceeds the frontier cap %d", got.PeakResident, streamFrontierCap)
+	}
+	if got.Scheduled+got.WarmHits >= 1680 {
+		t.Fatalf("streaming scheduled %d of 1680: no pruning happened", got.Scheduled)
+	}
+	if int64(got.Pruned)+int64(got.Scheduled) != got.Enumerated {
+		t.Fatalf("ledger %d+%d != %d", got.Pruned, got.Scheduled, got.Enumerated)
+	}
+	if len(got.Candidates) == 0 || got.Candidates[0].Index != 0 {
+		t.Fatal("streaming result lost the two-phase strawman (candidate 0)")
+	}
+}
+
+// The streaming ledger and winner must be invariant to Workers: the
+// search is serial over candidates; Workers only parallelizes inside
+// each TreeSchedule, whose output is Workers-invariant per PR 5.
+func TestStreamingWorkerWidthInvisible(t *testing.T) {
+	c := corpusCase{joins: 3, p: 32, seed: 3032}
+	rels := c.relations(t)
+	base := c.search(8)
+	base.Streaming = true
+	base.Workers = 1
+	want, err := base.Best(rand.New(rand.NewSource(2)), rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		s := c.search(8)
+		s.Streaming = true
+		s.Workers = workers
+		got, err := s.Best(rand.New(rand.NewSource(2)), rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Scheduled != want.Scheduled || got.Pruned != want.Pruned ||
+			got.SubtreePruned != want.SubtreePruned || got.PeakResident != want.PeakResident ||
+			got.Best.Index != want.Best.Index {
+			t.Fatalf("workers=%d: ledger (%d,%d,%d,%d,win %d) != workers=1 (%d,%d,%d,%d,win %d)",
+				workers, got.Scheduled, got.Pruned, got.SubtreePruned, got.PeakResident, got.Best.Index,
+				want.Scheduled, want.Pruned, want.SubtreePruned, want.PeakResident, want.Best.Index)
+		}
+		if !bytes.Equal(encodeSchedule(t, got.Best.Schedule), encodeSchedule(t, want.Best.Schedule)) {
+			t.Fatalf("workers=%d: winner schedule differs", workers)
+		}
+	}
+}
+
+// A Warm hook honoring the fingerprint exactness contract must not
+// change the winner — only convert TreeSchedule invocations into warm
+// hits.
+func TestStreamingWarmHookExactness(t *testing.T) {
+	for _, joins := range []int{3, 8} {
+		c := corpusCase{joins: joins, p: 16, seed: int64(7000 + joins)}
+		rels := c.relations(t)
+
+		cold := c.search(8)
+		cold.Streaming = true
+		first, err := cold.Best(rand.New(rand.NewSource(3)), rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Warm store keyed by the scheduler fingerprint, filled from the
+		// cold run's priced candidates — exactly the serve cache's
+		// contract (equal fingerprint ⇒ byte-identical schedule).
+		ts := sched.TreeScheduler{
+			Model: cold.Model, Overlap: cold.Overlap, P: cold.P, F: cold.F,
+		}
+		store := make(map[sched.Fingerprint]*sched.Schedule)
+		for _, cand := range first.Candidates {
+			tt, err := plan.NewTaskTree(plan.MustExpand(cand.Plan))
+			if err != nil {
+				t.Fatal(err)
+			}
+			store[ts.Fingerprint(tt)] = cand.Schedule
+		}
+
+		warm := c.search(8)
+		warm.Streaming = true
+		warm.Warm = func(tt *plan.TaskTree) (*sched.Schedule, bool) {
+			s, ok := store[ts.Fingerprint(tt)]
+			return s, ok
+		}
+		second, err := warm.Best(rand.New(rand.NewSource(3)), rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.WarmHits == 0 {
+			t.Fatalf("joins=%d: warm run hit the store 0 times", joins)
+		}
+		if second.Best.Index != first.Best.Index {
+			t.Fatalf("joins=%d: warm winner %d, cold winner %d", joins, second.Best.Index, first.Best.Index)
+		}
+		if !bytes.Equal(encodeSchedule(t, second.Best.Schedule), encodeSchedule(t, first.Best.Schedule)) {
+			t.Fatalf("joins=%d: warm winner schedule differs from cold", joins)
+		}
+		if second.Scheduled >= first.Scheduled && second.WarmHits > 0 && first.Scheduled > 0 {
+			// Every candidate the cold run priced is in the store, so the
+			// warm run must schedule strictly less (it still prunes at
+			// least as hard).
+			t.Fatalf("joins=%d: warm run scheduled %d, cold %d — warm start saved nothing",
+				joins, second.Scheduled, first.Scheduled)
+		}
+	}
+}
+
+// The enumeration error path: ErrEnumerate wraps the query layer's
+// validation errors in both pool modes, and the streaming path's
+// strawman construction.
+func TestBestErrEnumerate(t *testing.T) {
+	valid := func(n int) []*query.Relation {
+		rels := make([]*query.Relation, n)
+		for i := range rels {
+			rels[i] = &query.Relation{Name: "R", Tuples: 1000 + i}
+		}
+		return rels
+	}
+	badRel := []*query.Relation{{Name: "A", Tuples: 1000}, {Name: "B", Tuples: 0}, {Name: "C", Tuples: 3000}}
+
+	cases := []struct {
+		name string
+		s    func() Search
+		rels []*query.Relation
+	}{
+		{
+			// ExhaustiveJoins = 8 is a legal config now, but the
+			// materializing pool still tops out at 8 relations: 9
+			// relations is a runtime enumeration failure.
+			name: "pool systematic beyond MaxEnumerateRelations",
+			s: func() Search {
+				s := testSearch(8, 4)
+				s.ExhaustiveJoins = 8
+				return s
+			},
+			rels: valid(query.MaxEnumerateRelations + 1),
+		},
+		{
+			name: "pool systematic invalid relation",
+			s:    func() Search { return testSearch(8, 4) },
+			rels: badRel,
+		},
+		{
+			name: "pool sampled invalid relation",
+			s: func() Search {
+				s := testSearch(8, 4)
+				s.ExhaustiveJoins = -1
+				return s
+			},
+			rels: badRel,
+		},
+		{
+			name: "streaming systematic invalid relation",
+			s: func() Search {
+				s := testSearch(8, 4)
+				s.Streaming = true
+				return s
+			},
+			rels: badRel,
+		},
+		{
+			name: "streaming sampled invalid relation",
+			s: func() Search {
+				s := testSearch(8, 4)
+				s.Streaming = true
+				s.ExhaustiveJoins = -1
+				return s
+			},
+			rels: badRel,
+		},
+	}
+	for _, tc := range cases {
+		_, err := tc.s().Best(rand.New(rand.NewSource(1)), tc.rels)
+		if !errors.Is(err, ErrEnumerate) {
+			t.Errorf("%s: err = %v, want ErrEnumerate", tc.name, err)
+		}
+	}
+
+	// Sanity: the wrapped error keeps the query layer's message.
+	s := testSearch(8, 4)
+	s.ExhaustiveJoins = 8
+	_, err := s.Best(rand.New(rand.NewSource(1)), valid(9))
+	if err == nil || !errors.Is(err, ErrEnumerate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// A pre-cancelled context fails fast in both streaming modes.
+func TestStreamingPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, joins := range []int{3, 8} {
+		c := corpusCase{joins: joins, p: 8, seed: int64(8800 + joins)}
+		s := c.search(8)
+		s.Streaming = true
+		_, err := s.BestCtx(ctx, rand.New(rand.NewSource(1)), c.relations(t))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("joins=%d: err = %v, want context.Canceled", joins, err)
+		}
+	}
+}
+
+// Streaming searches share a cache across calls exactly like pool
+// searches: a shared memo changes nothing but speed.
+func TestStreamingSharedCacheIdentity(t *testing.T) {
+	c := corpusCase{joins: 3, p: 16, seed: 3316}
+	rels := c.relations(t)
+	cache := costmodel.NewCache(costmodel.Default())
+
+	private := c.search(8)
+	private.Streaming = true
+	want, err := private.Best(rand.New(rand.NewSource(5)), rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		shared := c.search(8)
+		shared.Streaming = true
+		shared.Cache = cache
+		got, err := shared.Best(rand.New(rand.NewSource(5)), rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Best.Index != want.Best.Index || got.Scheduled != want.Scheduled {
+			t.Fatalf("trial %d: shared-cache result (win %d, sched %d) != private (win %d, sched %d)",
+				trial, got.Best.Index, got.Scheduled, want.Best.Index, want.Scheduled)
+		}
+		if !bytes.Equal(encodeSchedule(t, got.Best.Schedule), encodeSchedule(t, want.Best.Schedule)) {
+			t.Fatalf("trial %d: shared-cache schedule differs", trial)
+		}
+	}
+}

@@ -145,15 +145,46 @@ func (t *OperatorTree) newOp(kind costmodel.OpKind, name string, joinID int, src
 	return op
 }
 
+// ScanSpec is the costing spec of the scan operator a leaf plan node
+// expands to. The spec depends only on the node itself — not on any
+// enclosing plan — which is what makes per-subtree OPTBOUND terms
+// (opt.SubtreeBounds) reusable across every candidate containing the
+// subtree. Expand builds its operators from these same constructors, so
+// the bound layer and the expansion can never disagree.
+func ScanSpec(n *query.PlanNode) costmodel.OpSpec {
+	return costmodel.OpSpec{
+		Kind:     costmodel.Scan,
+		InTuples: n.Relation.Tuples,
+		NetOut:   true, // A5: pipelined output repartitioned
+	}
+}
+
+// BuildSpec is the costing spec of the build operator a join plan node
+// expands to. Context-independent like ScanSpec.
+func BuildSpec(n *query.PlanNode) costmodel.OpSpec {
+	return costmodel.OpSpec{
+		Kind:     costmodel.Build,
+		InTuples: n.Inner.Tuples,
+		NetIn:    true,
+	}
+}
+
+// ProbeSpec is the costing spec of the probe operator a join plan node
+// expands to. Context-independent like ScanSpec.
+func ProbeSpec(n *query.PlanNode) costmodel.OpSpec {
+	return costmodel.OpSpec{
+		Kind:         costmodel.Probe,
+		InTuples:     n.Outer.Tuples,
+		ResultTuples: n.Tuples,
+		NetIn:        true,
+		NetOut:       true,
+	}
+}
+
 // expand returns the producer operator of the subtree's output stream.
 func (t *OperatorTree) expand(n *query.PlanNode) *Operator {
 	if n.IsLeaf() {
-		return t.newOp(costmodel.Scan, fmt.Sprintf("scan(%s)", n.Relation.Name), -1, n,
-			costmodel.OpSpec{
-				Kind:     costmodel.Scan,
-				InTuples: n.Relation.Tuples,
-				NetOut:   true, // A5: pipelined output repartitioned
-			})
+		return t.newOp(costmodel.Scan, fmt.Sprintf("scan(%s)", n.Relation.Name), -1, n, ScanSpec(n))
 	}
 
 	inner := t.expand(n.Inner)
@@ -161,20 +192,8 @@ func (t *OperatorTree) expand(n *query.PlanNode) *Operator {
 
 	jid := t.nextJoin
 	t.nextJoin++
-	build := t.newOp(costmodel.Build, fmt.Sprintf("build(J%d)", jid), jid, n,
-		costmodel.OpSpec{
-			Kind:     costmodel.Build,
-			InTuples: n.Inner.Tuples,
-			NetIn:    true,
-		})
-	probe := t.newOp(costmodel.Probe, fmt.Sprintf("probe(J%d)", jid), jid, n,
-		costmodel.OpSpec{
-			Kind:         costmodel.Probe,
-			InTuples:     n.Outer.Tuples,
-			ResultTuples: n.Tuples,
-			NetIn:        true,
-			NetOut:       true,
-		})
+	build := t.newOp(costmodel.Build, fmt.Sprintf("build(J%d)", jid), jid, n, BuildSpec(n))
+	probe := t.newOp(costmodel.Probe, fmt.Sprintf("probe(J%d)", jid), jid, n, ProbeSpec(n))
 	probe.BuildOp = build
 
 	inner.Consumer, inner.ConsumerEdge = build, Pipeline

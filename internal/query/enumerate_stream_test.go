@@ -1,0 +1,254 @@
+package query
+
+import (
+	"errors"
+	"testing"
+)
+
+// The T(n) recurrence values the enumerators are tested against.
+var bushyWant = map[int]int64{
+	1: 1, 2: 2, 3: 12, 4: 120, 5: 1680, 6: 30240, 7: 665280,
+	8: 17297280, 9: 518918400, 10: 17643225600,
+}
+
+func TestCountBushy(t *testing.T) {
+	for n, want := range bushyWant {
+		if got := CountBushy(n); got != want {
+			t.Errorf("CountBushy(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := CountBushy(0); got != 0 {
+		t.Errorf("CountBushy(0) = %d, want 0", got)
+	}
+	if got := CountBushy(MaxStreamRelations + 1); got != 0 {
+		t.Errorf("CountBushy(%d) = %d, want 0", MaxStreamRelations+1, got)
+	}
+}
+
+// Streaming enumeration must yield exactly the materialized sequence:
+// same plans, same order, ordinals equal to slice indices.
+func TestEnumerateStreamMatchesMaterialized(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		rels := enumRels(n)
+		plans, err := EnumerateBushy(rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		err = EnumerateBushyFunc(rels, nil, func(p *PlanNode, ord int64) error {
+			if ord != got {
+				t.Fatalf("n=%d: yield %d carries ordinal %d", n, got, ord)
+			}
+			if got >= int64(len(plans)) {
+				t.Fatalf("n=%d: more streamed plans than materialized (%d)", n, len(plans))
+			}
+			want, _ := plans[got].Encode()
+			have, _ := p.Encode()
+			if string(want) != string(have) {
+				t.Fatalf("n=%d: plan %d differs:\nstream %s\nslice  %s", n, got, have, want)
+			}
+			got++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != int64(len(plans)) {
+			t.Fatalf("n=%d: streamed %d plans, want %d", n, got, len(plans))
+		}
+	}
+}
+
+// The n = 6 and n = 7 boundary counts, streamed (materializing n = 7
+// would allocate 665280 roots for nothing).
+func TestEnumerateStreamCountsLarge(t *testing.T) {
+	for _, n := range []int{6, 7} {
+		var got int64
+		err := EnumerateBushyFunc(enumRels(n), nil, func(_ *PlanNode, _ int64) error {
+			got++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != bushyWant[n] {
+			t.Fatalf("n=%d: streamed %d plans, want %d", n, got, bushyWant[n])
+		}
+	}
+}
+
+// n = 8 crosses the materializing ceiling: 17.3M yields is seconds of
+// plain CPU but minutes under the race detector, so the race pass keeps
+// the n ≤ 7 assertions only.
+func TestEnumerateStreamCountAtEight(t *testing.T) {
+	if raceDetectorEnabled || testing.Short() {
+		t.Skip("17.3M yields: skipped under -race and -short")
+	}
+	var got int64
+	var last int64 = -1
+	err := EnumerateBushyFunc(enumRels(8), nil, func(_ *PlanNode, ord int64) error {
+		if ord != last+1 {
+			t.Fatalf("ordinal %d follows %d", ord, last)
+		}
+		last = ord
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != bushyWant[8] {
+		t.Fatalf("streamed %d plans, want %d", got, bushyWant[8])
+	}
+}
+
+// A pruning hook must remove exactly the plans containing a discarded
+// subtree, with the survivors keeping their unpruned ordinals.
+func TestEnumerateStreamPruneKeepsOrdinals(t *testing.T) {
+	rels := enumRels(5)
+	plans, err := EnumerateBushy(rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded := make([]string, len(plans))
+	for i, p := range plans {
+		data, _ := p.Encode()
+		encoded[i] = string(data)
+	}
+	// Discard every proper subtree whose build side is not a base
+	// relation: only left-deep-spined compositions survive.
+	prune := func(n *PlanNode) bool { return !n.Inner.IsLeaf() }
+	var yielded int64
+	var lastOrd int64 = -1
+	err = EnumerateBushyFunc(rels, prune, func(p *PlanNode, ord int64) error {
+		if ord <= lastOrd {
+			t.Fatalf("ordinal %d after %d: order not preserved", ord, lastOrd)
+		}
+		lastOrd = ord
+		have, _ := p.Encode()
+		if string(have) != encoded[ord] {
+			t.Fatalf("pruned stream ordinal %d does not match materialized plan", ord)
+		}
+		yielded++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yielded == 0 || yielded >= int64(len(plans)) {
+		t.Fatalf("pruned stream yielded %d of %d plans; want a proper non-empty subset", yielded, len(plans))
+	}
+}
+
+// Ten relations — beyond the materializing ceiling — must stream fine
+// when the prune hook keeps the DP tables small. Keeping exactly one
+// chain per relation subset leaves 2^10 subtrees and one yield per
+// proper root split.
+func TestEnumerateStreamTenRelationsPruned(t *testing.T) {
+	rels := enumRels(10)
+	minLeaf := func(n *PlanNode) *Relation {
+		leaves := n.Leaves()
+		min := leaves[0]
+		for _, l := range leaves[1:] {
+			if l.Tuples < min.Tuples {
+				min = l
+			}
+		}
+		return min
+	}
+	// Survive only when the build side is the subtree's smallest base
+	// relation: each subset keeps exactly one chain.
+	prune := func(n *PlanNode) bool {
+		return !n.Inner.IsLeaf() || n.Inner.Relation != minLeaf(n)
+	}
+	var yields int64
+	var lastOrd int64 = -1
+	err := EnumerateBushyFunc(rels, prune, func(_ *PlanNode, ord int64) error {
+		if ord <= lastOrd {
+			t.Fatalf("ordinal %d after %d", ord, lastOrd)
+		}
+		if ord < 0 || ord >= bushyWant[10] {
+			t.Fatalf("ordinal %d outside [0, T(10))", ord)
+		}
+		lastOrd = ord
+		yields++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(1<<10 - 2); yields != want {
+		t.Fatalf("yielded %d plans, want one per proper root split = %d", yields, want)
+	}
+}
+
+func TestEnumerateStreamYieldErrorAborts(t *testing.T) {
+	sentinel := errors.New("stop")
+	var yields int
+	err := EnumerateBushyFunc(enumRels(5), nil, func(_ *PlanNode, _ int64) error {
+		yields++
+		if yields == 10 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("yield error not returned verbatim: %v", err)
+	}
+	if yields != 10 {
+		t.Fatalf("enumeration continued after the yield error: %d yields", yields)
+	}
+}
+
+func TestEnumerateStreamValidation(t *testing.T) {
+	yield := func(_ *PlanNode, _ int64) error { return nil }
+	if err := EnumerateBushyFunc(nil, nil, yield); err == nil {
+		t.Error("empty relation list accepted")
+	}
+	if err := EnumerateBushyFunc(enumRels(MaxStreamRelations+1), nil, yield); err == nil {
+		t.Error("oversized relation list accepted")
+	}
+	if err := EnumerateBushyFunc([]*Relation{{Name: "R", Tuples: 0}}, nil, yield); err == nil {
+		t.Error("non-positive cardinality accepted")
+	}
+	if err := EnumerateBushyFunc(enumRels(3), nil, nil); err == nil {
+		t.Error("nil yield accepted")
+	}
+}
+
+// FirstBushy must agree with the enumeration's candidate 0 — streaming
+// searches seed their incumbent from it.
+func TestFirstBushyMatchesEnumerationHead(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		rels := enumRels(n)
+		first, err := FirstBushy(rels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := first.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		var head *PlanNode
+		err = EnumerateBushyFunc(rels, nil, func(p *PlanNode, ord int64) error {
+			if ord == 0 {
+				head = p
+				return errors.New("done")
+			}
+			return nil
+		})
+		if head == nil {
+			t.Fatalf("n=%d: no candidate 0 (%v)", n, err)
+		}
+		want, _ := head.Encode()
+		have, _ := first.Encode()
+		if string(want) != string(have) {
+			t.Fatalf("n=%d: FirstBushy differs from enumeration head:\n%s\n%s", n, have, want)
+		}
+	}
+	if _, err := FirstBushy(nil); err == nil {
+		t.Error("empty relation list accepted")
+	}
+	if _, err := FirstBushy([]*Relation{{Name: "R", Tuples: -1}}); err == nil {
+		t.Error("invalid relation accepted")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package query
+
+// raceDetectorEnabled gates enumeration tests whose yield counts are
+// fine under plain CPU but minutes under the race detector's shadow
+// instrumentation.
+const raceDetectorEnabled = false

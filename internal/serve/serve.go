@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mdrs/internal/costmodel"
 	"mdrs/internal/obs"
 	"mdrs/internal/par"
 	"mdrs/internal/plan"
@@ -118,6 +119,13 @@ type Config struct {
 	// Default (0): caching disabled, every request takes the batching
 	// path.
 	CacheSize int
+
+	// Optimizer, when non-nil, enables Service.Optimize: the streaming
+	// bound-interleaved plan search run under the service's admission
+	// control, warm-started from the schedule cache's per-fingerprint
+	// completed responses (see optimize.go). Nil leaves Optimize
+	// returning ErrNoOptimizer; Schedule is unaffected either way.
+	Optimizer *OptimizerConfig
 
 	// Rec, when non-nil, receives the service's counters and histograms.
 	// Every submission is classified exactly once: serve.invalid counts
@@ -276,6 +284,10 @@ type Service struct {
 	cache   *schedCache   // nil unless Config.CacheSize > 0
 	knobs   knobs         // live tunables; static unless the controller runs
 
+	// optCache is the cost-model memo shared across every Optimize
+	// call's bounds and schedules; nil unless Config.Optimizer is set.
+	optCache *costmodel.Cache
+
 	mu      sync.Mutex // guards closed and the workers Add-vs-Wait race
 	closed  bool
 	closing atomic.Bool    // set at the start of Close, before the drain
@@ -331,6 +343,17 @@ func New(cfg Config) (*Service, error) {
 		pending: make(chan *request, cfg.MaxInFlight),
 		done:    make(chan struct{}),
 		cache:   newSchedCache(cfg.CacheSize),
+	}
+	if cfg.Optimizer != nil {
+		// One memo for the lifetime of the service: every Optimize
+		// call's candidate bounds and schedules share it. Reuse the
+		// scheduler's own cache when one is configured so the search and
+		// the request path price operators once between them.
+		if cfg.Scheduler.Cache != nil {
+			s.optCache = cfg.Scheduler.Cache
+		} else {
+			s.optCache = costmodel.NewCache(cfg.Scheduler.Model)
+		}
 	}
 	// Seed the live knobs from the resolved configuration; without a
 	// controller these stores are the knobs' only writes, so behavior is

@@ -163,6 +163,10 @@ type (
 	ServeTuning = serve.Tuning
 	// ServeResult is one request's outcome from a SchedulingService.
 	ServeResult = serve.Result
+	// ServeOptimizerConfig enables SchedulingService.Optimize, the
+	// serve-layer streaming plan search warm-started from the schedule
+	// cache (ServeConfig.Optimizer).
+	ServeOptimizerConfig = serve.OptimizerConfig
 )
 
 // Typed scheduling-service errors, for errors.Is dispatch.
@@ -177,6 +181,12 @@ var (
 	// ErrPlanSearchTooFewRelations reports a PlanSearch over fewer than
 	// two relations.
 	ErrPlanSearchTooFewRelations = optimizer.ErrTooFewRelations
+	// ErrPlanSearchEnumerate reports that a PlanSearch failed while
+	// enumerating or sampling candidate plans (wraps the cause).
+	ErrPlanSearchEnumerate = optimizer.ErrEnumerate
+	// ErrServeNoOptimizer reports an Optimize call on a
+	// SchedulingService configured without ServeConfig.Optimizer.
+	ErrServeNoOptimizer = serve.ErrNoOptimizer
 )
 
 // Plan shapes.
@@ -410,6 +420,28 @@ func RandomRelations(r *rand.Rand, n, minTuples, maxTuples int) ([]*Relation, er
 func EnumerateBushyPlans(rels []*Relation) ([]*PlanNode, error) {
 	return query.EnumerateBushy(rels)
 }
+
+// EnumerateBushyPlansFunc streams every distinct bushy join plan over
+// the relations (at most query.MaxStreamRelations of them) to yield in
+// the same deterministic order as EnumerateBushyPlans, without ever
+// materializing the full plan set. Each plan arrives with its ordinal
+// in the unpruned enumeration. A non-nil prune callback may discard
+// subtrees: any plan containing a pruned subtree is skipped, but
+// surviving plans keep their unpruned ordinals. Peak memory is
+// O(frontier), so join counts beyond the materialized ceiling (9 and
+// 10 relations) are reachable here.
+func EnumerateBushyPlansFunc(rels []*Relation, prune func(*PlanNode) bool, yield func(*PlanNode, int64) error) error {
+	return query.EnumerateBushyFunc(rels, prune, yield)
+}
+
+// CountBushyPlans returns T(n), the number of distinct bushy join
+// plans over n relations (0 outside the supported range 1..10).
+func CountBushyPlans(n int) int64 { return query.CountBushy(n) }
+
+// FirstBushyPlan returns the first plan of the bushy enumeration order
+// (a left-deep chain) without enumerating — the streaming search's
+// strawman incumbent.
+func FirstBushyPlan(rels []*Relation) (*PlanNode, error) { return query.FirstBushy(rels) }
 
 // OperatorSchedule exposes the paper's Figure 3 list-scheduling rule for
 // a set of independent operators with predetermined clone vectors.
