@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race bench bench-placement bench-cache bench-parallel bench-serve bench-adaptive bench-opt bench-opt-check figures trace-demo
+.PHONY: check build vet test race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race engine-race bench bench-placement bench-cache bench-parallel bench-serve bench-adaptive bench-opt bench-opt-check bench-engine figures trace-demo
 
-check: build vet race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race bench-opt-check
+check: build vet race obs-race serve-race cache-race par-race loadgen-race adaptive-race opt-race engine-race bench-opt-check
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,14 @@ adaptive-race:
 opt-race:
 	$(GO) test -race -count=1 ./internal/optimizer ./internal/query ./internal/opt
 
+# The vectorized-engine gate: the flat data path (radix partitioning,
+# dense flat tables, the pooled tuple arena, bounded clone fan-out),
+# fresh under the race detector — the golden-Report identity corpus
+# (flat vs reference executor, byte-for-byte), the degree-512 goroutine
+# hammer, and the skew-drift test.
+engine-race:
+	$(GO) test -race -count=1 -run 'Identity|Flat|Arena|Radix|Table|Bounded|Degree512|Skewed|LeafTuples|WarmRuns' ./internal/engine
+
 # Placement micro-benchmark tracked in BENCH_sched.json.
 bench-placement:
 	$(GO) test ./internal/sched -run '^$$' -bench BenchmarkOperatorSchedulePlacement -benchmem
@@ -117,6 +125,14 @@ bench-opt:
 # scheduled-count ledger regresses more than 10% over the committed one.
 bench-opt-check:
 	$(GO) run ./cmd/mdrs-bench -opt-check BENCH_optimizer.json
+
+# Regenerate BENCH_engine.json: the flat engine vs the preserved
+# reference executor (cold/warm ns/op, allocs/op, tuples/sec) over
+# joins∈{3,5,8} × tuple scales × Parallel on/off × skew∈{0,1.2}, with
+# the live old-vs-new Report byte-identity verdict and the joins=8
+# acceptance summary (≥3× tuples/sec, ≥5× fewer allocs/op).
+bench-engine:
+	$(GO) run ./cmd/mdrs-bench -engine-bench BENCH_engine.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,0 +1,286 @@
+// -engine-bench: measure the vectorized execution engine against the
+// preserved reference executor and write BENCH_engine.json.
+//
+// For every case (joins × tuple scale × Parallel × skew) both arms run
+// the identical dataset and schedule: the reference arm through the
+// pre-vectorization data path (map hash tables, append-per-tuple
+// partitioning, per-tuple key map lookups, full-copy concats, one
+// goroutine per clone) and the flat arm through radix partitioning,
+// dense flat tables, and the pooled tuple arena. The report records
+// cold and warm ns/op, allocs/op, tuples/sec, the per-case speedup and
+// allocation ratio, and a live Report byte-identity verdict — the
+// acceptance gate is the joins=8 rows: ≥3× tuples/sec, ≥5× fewer
+// allocs/op, identity true everywhere.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"mdrs/internal/costmodel"
+	"mdrs/internal/engine"
+	"mdrs/internal/obs"
+	"mdrs/internal/plan"
+	"mdrs/internal/query"
+	"mdrs/internal/resource"
+	"mdrs/internal/sched"
+)
+
+// engineBenchSizes is the leaf-size pattern for chain plans, scaled per
+// case. Alternating large/small sizes flip the carrier side join by
+// join so both probe arms (presence and match) and both dense layouts
+// (direct and CSR) execute.
+var engineBenchSizes = []int{5000, 2000, 7000, 1200, 6400, 2800, 9000, 3300, 7500}
+
+const engineBenchSites = 8
+
+// engineBenchCase is one measured configuration, both arms.
+type engineBenchCase struct {
+	Joins    int     `json:"joins"`
+	Scale    int     `json:"scale"`
+	Tuples   int     `json:"tuples"` // total base-relation tuples
+	Parallel bool    `json:"parallel"`
+	Skew     float64 `json:"skew"`
+
+	RefColdNs  int64   `json:"ref_cold_ns"`
+	FlatColdNs int64   `json:"flat_cold_ns"`
+	RefWarmNs  int64   `json:"ref_warm_ns_op"`
+	FlatWarmNs int64   `json:"flat_warm_ns_op"`
+	RefAllocs  float64 `json:"ref_allocs_op"`
+	FlatAllocs float64 `json:"flat_allocs_op"`
+	RefTPS     float64 `json:"ref_tuples_per_sec"`
+	FlatTPS    float64 `json:"flat_tuples_per_sec"`
+
+	Speedup    float64 `json:"speedup"`     // flat TPS / ref TPS
+	AllocRatio float64 `json:"alloc_ratio"` // ref allocs / flat allocs
+	Identical  bool    `json:"report_identical"`
+}
+
+// engineBenchReport is the BENCH_engine.json schema.
+type engineBenchReport struct {
+	Quick      bool              `json:"quick"`
+	Seed       int64             `json:"seed"`
+	Sites      int               `json:"sites"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Cases      []engineBenchCase `json:"cases"`
+
+	// The acceptance summary over the joins=8 cases: the worst-case
+	// speedup and allocation ratio, and whether every case (all joins,
+	// both Parallel modes, both skews) produced byte-identical reports.
+	Joins8MinSpeedup    float64 `json:"joins8_min_speedup"`
+	Joins8MinAllocRatio float64 `json:"joins8_min_alloc_ratio"`
+	SpeedupOK           bool    `json:"speedup_ok"`    // ≥ 3×
+	AllocsOK            bool    `json:"allocs_ok"`     // ≥ 5×
+	AllIdentical        bool    `json:"all_identical"` // every case
+	TotalSeconds        float64 `json:"total_seconds"`
+}
+
+// engineBenchPlan builds the chain plan for one case.
+func engineBenchPlan(joins, scale int) (*query.PlanNode, int) {
+	sizes := engineBenchSizes[:joins+1]
+	total := 0
+	p := func() *query.PlanNode {
+		mk := func(i int) *query.PlanNode {
+			n := sizes[i] * scale
+			total += n
+			return &query.PlanNode{
+				Relation: &query.Relation{Name: fmt.Sprintf("L%d", i), Tuples: n},
+				Tuples:   n,
+			}
+		}
+		p := mk(0)
+		for i := 1; i <= joins; i++ {
+			inner := mk(i)
+			tu := p.Tuples
+			if inner.Tuples > tu {
+				tu = inner.Tuples
+			}
+			p = &query.PlanNode{Outer: p, Inner: inner, Tuples: tu}
+		}
+		return p
+	}()
+	return p, total
+}
+
+// measureEngineArm times one arm over the prepared dataset/schedule:
+// cold wall time (first run), warm ns/op and allocs/op over a batched
+// loop, and the tuple throughput derived from one metered run.
+func measureEngineArm(eng engine.Engine, ds *engine.Dataset, s *sched.Schedule,
+	quick bool) (rep *engine.Report, coldNs, warmNs int64, allocs, tps float64, err error) {
+
+	coldStart := time.Now()
+	rep, err = eng.Run(ds, s)
+	if err != nil {
+		return nil, 0, 0, 0, 0, err
+	}
+	coldNs = time.Since(coldStart).Nanoseconds()
+
+	// One metered run counts the tuples every operator touches, the
+	// denominator of tuples/sec.
+	met := obs.NewMetrics()
+	metered := eng
+	metered.Rec = met
+	if _, err = metered.Run(ds, s); err != nil {
+		return nil, 0, 0, 0, 0, err
+	}
+	snap := met.Snapshot()
+	tuplesPerRun := int64(0)
+	for _, name := range []string{"engine.tuples_scanned", "engine.tuples_built",
+		"engine.tuples_probed", "engine.tuples_joined", "engine.tuples_stored"} {
+		tuplesPerRun += snap.Counters[name]
+	}
+
+	// Warm loop: batches until the measurement window fills, so fast
+	// arms still accumulate a stable sample.
+	window := 300 * time.Millisecond
+	maxReps := 200
+	if quick {
+		window = 60 * time.Millisecond
+		maxReps = 30
+	}
+	var ms0, ms1 runtime.MemStats
+	reps := 0
+	runtime.ReadMemStats(&ms0)
+	warmStart := time.Now()
+	for {
+		if _, err = eng.Run(ds, s); err != nil {
+			return nil, 0, 0, 0, 0, err
+		}
+		reps++
+		if (reps >= 3 && time.Since(warmStart) >= window) || reps >= maxReps {
+			break
+		}
+	}
+	elapsed := time.Since(warmStart)
+	runtime.ReadMemStats(&ms1)
+
+	warmNs = elapsed.Nanoseconds() / int64(reps)
+	allocs = float64(ms1.Mallocs-ms0.Mallocs) / float64(reps)
+	tps = float64(tuplesPerRun) * float64(reps) / elapsed.Seconds()
+	return rep, coldNs, warmNs, allocs, tps, nil
+}
+
+// runEngineBench executes the full case matrix and writes the report.
+func runEngineBench(path string, quick bool, seed int64) error {
+	if seed == 0 {
+		seed = 1996
+	}
+	joinCounts := []int{3, 5, 8}
+	scales := []int{1, 4}
+	if quick {
+		scales = []int{1}
+	}
+
+	rpt := engineBenchReport{
+		Quick:      quick,
+		Seed:       seed,
+		Sites:      engineBenchSites,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	start := time.Now()
+	rpt.Joins8MinSpeedup = -1
+	rpt.Joins8MinAllocRatio = -1
+	rpt.AllIdentical = true
+
+	for _, joins := range joinCounts {
+		for _, scale := range scales {
+			p, total := engineBenchPlan(joins, scale)
+			tt, err := plan.NewTaskTree(plan.MustExpand(p))
+			if err != nil {
+				return err
+			}
+			s, err := sched.TreeScheduler{
+				Model:   costmodel.Default(),
+				Overlap: resource.MustOverlap(0.5),
+				P:       engineBenchSites,
+				F:       0.7,
+			}.Schedule(tt)
+			if err != nil {
+				return err
+			}
+			for _, skew := range []float64{0, 1.2} {
+				ds, err := engine.GenerateOpts(p, engine.GenOptions{Seed: seed, SkewS: skew})
+				if err != nil {
+					return err
+				}
+				for _, parallel := range []bool{false, true} {
+					base := engine.Engine{
+						Model:    costmodel.Default(),
+						Overlap:  resource.MustOverlap(0.5),
+						Parallel: parallel,
+					}
+					ref := base
+					ref.Reference = true
+
+					repRef, refCold, refWarm, refAllocs, refTPS, err := measureEngineArm(ref, ds, s, quick)
+					if err != nil {
+						return fmt.Errorf("reference arm joins=%d: %w", joins, err)
+					}
+					repFlat, flatCold, flatWarm, flatAllocs, flatTPS, err := measureEngineArm(base, ds, s, quick)
+					if err != nil {
+						return fmt.Errorf("flat arm joins=%d: %w", joins, err)
+					}
+
+					identical := reflect.DeepEqual(repRef, repFlat)
+					if identical {
+						bRef, err1 := json.Marshal(repRef)
+						bFlat, err2 := json.Marshal(repFlat)
+						identical = err1 == nil && err2 == nil && string(bRef) == string(bFlat)
+					}
+
+					c := engineBenchCase{
+						Joins: joins, Scale: scale, Tuples: total,
+						Parallel: parallel, Skew: skew,
+						RefColdNs: refCold, FlatColdNs: flatCold,
+						RefWarmNs: refWarm, FlatWarmNs: flatWarm,
+						RefAllocs: refAllocs, FlatAllocs: flatAllocs,
+						RefTPS: refTPS, FlatTPS: flatTPS,
+						Identical: identical,
+					}
+					if refTPS > 0 {
+						c.Speedup = flatTPS / refTPS
+					}
+					if flatAllocs > 0 {
+						c.AllocRatio = refAllocs / flatAllocs
+					}
+					rpt.Cases = append(rpt.Cases, c)
+					rpt.AllIdentical = rpt.AllIdentical && identical
+					if joins == 8 {
+						if rpt.Joins8MinSpeedup < 0 || c.Speedup < rpt.Joins8MinSpeedup {
+							rpt.Joins8MinSpeedup = c.Speedup
+						}
+						if rpt.Joins8MinAllocRatio < 0 || c.AllocRatio < rpt.Joins8MinAllocRatio {
+							rpt.Joins8MinAllocRatio = c.AllocRatio
+						}
+					}
+					fmt.Fprintf(os.Stderr,
+						"engine-bench joins=%d scale=%d par=%-5v skew=%g: %7.2fx tps, %6.1fx allocs, identical=%v\n",
+						joins, scale, parallel, skew, c.Speedup, c.AllocRatio, identical)
+				}
+			}
+		}
+	}
+
+	rpt.SpeedupOK = rpt.Joins8MinSpeedup >= 3
+	rpt.AllocsOK = rpt.Joins8MinAllocRatio >= 5
+	rpt.TotalSeconds = time.Since(start).Seconds()
+
+	data, err := json.MarshalIndent(&rpt, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"engine-bench: joins=8 min speedup %.2fx (ok=%v), min alloc ratio %.1fx (ok=%v), all identical=%v -> %s\n",
+		rpt.Joins8MinSpeedup, rpt.SpeedupOK, rpt.Joins8MinAllocRatio, rpt.AllocsOK, rpt.AllIdentical, path)
+	if !rpt.AllIdentical {
+		return fmt.Errorf("flat and reference engines produced diverging reports")
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -engine-bench report must be valid JSON with both arms measured
+// for every case of the matrix (joins × scale × Parallel × skew), the
+// live Report byte-identity verdict true everywhere, and the joins=8
+// acceptance summary filled in. Thresholds themselves (≥3× speedup,
+// ≥5× allocs) are asserted against the committed full run, not the
+// quick one — quick still checks they hold, since the quick matrix has
+// comfortably cleared them since the PR landed.
+func TestRunEngineBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs live benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "bench_engine.json")
+	if err := runEngineBench(path, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report engineBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid report JSON: %v", err)
+	}
+	// Quick mode: 3 join counts × 1 scale × 2 skews × 2 Parallel modes.
+	if len(report.Cases) != 12 {
+		t.Fatalf("%d cases, want 12", len(report.Cases))
+	}
+	if !report.AllIdentical {
+		t.Fatal("flat and reference reports diverged")
+	}
+	for _, c := range report.Cases {
+		if !c.Identical {
+			t.Fatalf("case joins=%d parallel=%v skew=%g not identical", c.Joins, c.Parallel, c.Skew)
+		}
+		if c.RefWarmNs <= 0 || c.FlatWarmNs <= 0 || c.RefTPS <= 0 || c.FlatTPS <= 0 {
+			t.Fatalf("case joins=%d not measured: %+v", c.Joins, c)
+		}
+		if c.FlatAllocs <= 0 || c.RefAllocs <= c.FlatAllocs {
+			t.Fatalf("case joins=%d allocs not reduced: ref %.0f, flat %.0f",
+				c.Joins, c.RefAllocs, c.FlatAllocs)
+		}
+	}
+	if report.Joins8MinAllocRatio < 5 {
+		t.Fatalf("joins=8 min alloc ratio %.1fx below the 5x acceptance bar", report.Joins8MinAllocRatio)
+	}
+	if !report.AllocsOK {
+		t.Fatal("allocs_ok flag not set")
+	}
+	// Wall-clock thresholds only hold without the race detector: its
+	// instrumentation slows both arms onto the same memory-access cost
+	// floor, compressing the speedup to ~1.5× while the allocation
+	// ratio (a pure count) is unaffected.
+	if raceEnabled {
+		t.Logf("race detector on: joins=8 min speedup %.2fx recorded, 3x bar not asserted",
+			report.Joins8MinSpeedup)
+		return
+	}
+	if report.Joins8MinSpeedup < 3 {
+		t.Fatalf("joins=8 min speedup %.2fx below the 3x acceptance bar", report.Joins8MinSpeedup)
+	}
+	if !report.SpeedupOK {
+		t.Fatal("speedup_ok flag not set")
+	}
+}

@@ -94,6 +94,7 @@ func main() {
 	parBench := flag.String("par-bench", "", "measure scheduler Workers=1 vs Workers=N and the invariance verdict, write JSON to this file, and exit")
 	optBench := flag.String("opt-bench", "", "measure the plan-search arms across a join sweep, write JSON to this file, and exit")
 	optCheck := flag.String("opt-check", "", "replay this committed BENCH_optimizer.json's check corpus and fail on identity or ledger regression, then exit")
+	engineBench := flag.String("engine-bench", "", "measure the flat engine vs the reference executor, write JSON to this file, and exit")
 	schedWorkers := flag.Int("sched-workers", 0, "workers arm for -par-bench (0 = GOMAXPROCS, raised to at least 2)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -118,6 +119,14 @@ func main() {
 	if *optBench != "" {
 		if err := runOptBench(*optBench, *quick, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "mdrs-bench: opt-bench: %v\n", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		return
+	}
+	if *engineBench != "" {
+		if err := runEngineBench(*engineBench, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "mdrs-bench: engine-bench: %v\n", err)
 			stopProfiles()
 			os.Exit(1)
 		}

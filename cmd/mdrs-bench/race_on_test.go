@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation distorts wall-clock comparisons.
+const raceEnabled = true

@@ -54,6 +54,22 @@ type leafData struct {
 	slots []keySlot
 	keys  [][]int32 // keys[slot][row]
 	index map[*query.PlanNode]int
+	// tuples is the leaf's identity tuple slice, built once at Generate
+	// time and shared by every LeafTuples caller — read-only.
+	tuples []Tuple
+}
+
+// joinCols is the per-join key-column index built once at Generate
+// time so the engine's operators resolve a join's column slot exactly
+// once instead of paying a map lookup (ds.Key) per tuple: cols[leaf]
+// is that leaf's key column for the join (nil when the leaf carries no
+// key for it), domain is the key domain [0, domain), and distinct[leaf]
+// reports whether the leaf's column holds distinct keys (the join's
+// smaller-side permutation).
+type joinCols struct {
+	domain   int
+	cols     [][]int32
+	distinct []bool
 }
 
 // Dataset holds the generated base relations of one plan.
@@ -63,7 +79,8 @@ type Dataset struct {
 
 	leaves []*leafData
 	byLeaf map[*query.PlanNode]int32 // leaf plan node -> leaf index
-	skewS  float64                   // Zipf exponent for larger-side keys; 0 = uniform
+	joins  map[*query.PlanNode]*joinCols
+	skewS  float64 // Zipf exponent for larger-side keys; 0 = uniform
 }
 
 // GenOptions tunes data generation.
@@ -97,7 +114,38 @@ func GenerateOpts(p *query.PlanNode, opts GenOptions) (*Dataset, error) {
 	ds := &Dataset{Plan: p, byLeaf: make(map[*query.PlanNode]int32), skewS: opts.SkewS}
 	r := rand.New(rand.NewSource(opts.Seed))
 	ds.walk(r, p, nil)
+	ds.buildIndexes()
 	return ds, nil
+}
+
+// buildIndexes derives the read-only lookup structures the engine's
+// hot paths index directly: the cached identity tuple slice of every
+// leaf and the per-join column index (joinCols). Built once per
+// Dataset, never mutated afterwards, so concurrent runs over a shared
+// dataset need no locks.
+func (ds *Dataset) buildIndexes() {
+	ds.joins = make(map[*query.PlanNode]*joinCols)
+	nl := len(ds.leaves)
+	for li, ld := range ds.leaves {
+		tuples := make([]Tuple, ld.rel.Tuples)
+		for r := range tuples {
+			tuples[r] = Tuple{Leaf: int32(li), Row: int32(r)}
+		}
+		ld.tuples = tuples
+		for si, slot := range ld.slots {
+			jc := ds.joins[slot.joinNode]
+			if jc == nil {
+				jc = &joinCols{
+					domain:   slot.domain,
+					cols:     make([][]int32, nl),
+					distinct: make([]bool, nl),
+				}
+				ds.joins[slot.joinNode] = jc
+			}
+			jc.cols[li] = ld.keys[si]
+			jc.distinct[li] = slot.smaller
+		}
+	}
 }
 
 // MustGenerate is Generate that panics on error.
@@ -185,14 +233,13 @@ func (ds *Dataset) LeafIndex(leaf *query.PlanNode) (int32, error) {
 	return idx, nil
 }
 
-// LeafTuples returns the identity tuples of leaf i, in row order.
+// LeafTuples returns the identity tuples of leaf i, in row order. The
+// slice is built once at Generate time and shared by every caller —
+// it is read-only; callers must not modify it. (It used to be
+// regenerated on every call, so scanning the same leaf in different
+// plans of a batch paid an O(rows) allocation each time.)
 func (ds *Dataset) LeafTuples(i int32) []Tuple {
-	ld := ds.leaves[i]
-	out := make([]Tuple, ld.rel.Tuples)
-	for r := range out {
-		out[r] = Tuple{Leaf: i, Row: int32(r)}
-	}
-	return out
+	return ds.leaves[i].tuples
 }
 
 // Key returns tuple t's key for the given join node. It fails if the

@@ -163,16 +163,16 @@ func TestResultContentIsExactlyTheCarrierRelation(t *testing.T) {
 		}
 		// Re-run the dataflow manually to inspect the root output.
 		eng := testEngine(false)
-		outputs := make(map[*plan.Operator][]Tuple)
-		tables := make(map[int][]map[int32][]Tuple)
+		st := newRunState(false, 4)
 		rep := &Report{JoinResults: map[int]int{}}
 		for _, ph := range s.Phases {
 			for _, pl := range ph.Placements {
-				if _, err := eng.runOperator(pl, ds, outputs, tables, rep); err != nil {
+				if _, err := eng.runOperator(pl, ds, st, rep); err != nil {
 					t.Fatal(err)
 				}
 			}
 		}
+		outputs := st.outputs
 		var root *plan.Operator
 		for _, ph := range s.Phases {
 			for _, pl := range ph.Placements {

@@ -3,12 +3,13 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sync"
+	"runtime"
+	"time"
 
 	"mdrs/internal/costmodel"
 	"mdrs/internal/obs"
+	"mdrs/internal/par"
 	"mdrs/internal/plan"
-	"mdrs/internal/query"
 	"mdrs/internal/resource"
 	"mdrs/internal/sched"
 	"mdrs/internal/vector"
@@ -21,11 +22,21 @@ type Engine struct {
 	Overlap resource.Overlap
 	// Parallel runs each operator's clones on separate goroutines
 	// (results are merged in clone order, so output is deterministic
-	// either way).
+	// either way). The goroutine count is clamped to GOMAXPROCS through
+	// the internal/par pool — a degree-512 operator no longer spawns
+	// 512 goroutines — while the lowest-index-error contract holds.
 	Parallel bool
+	// Reference selects the pre-vectorization executor: map-based hash
+	// tables, append-per-tuple partitioning, per-tuple ds.Key lookups,
+	// full-copy concats, and one goroutine per clone in Parallel mode.
+	// Its Report is byte-identical to the flat path's — the identity
+	// corpus and mdrs-bench -engine-bench enforce it live — so it
+	// serves as the oracle and the "before" arm of BENCH_engine.json.
+	Reference bool
 	// Rec, when non-nil, receives execution counters (tuples, clone
-	// runs), per-phase timers, and exec_phase trace events. Recorders
-	// must be safe for concurrent use when Parallel is set; all the
+	// runs, arena reuse/alloc tallies, flat-table layout tallies), the
+	// run/phase timers, and exec_phase trace events. Recorders must be
+	// safe for concurrent use when Parallel is set; all the
 	// internal/obs implementations are. Nil disables recording.
 	Rec obs.Recorder
 
@@ -106,6 +117,47 @@ func (c *cloneMeter) addNetTuples(tuples int, p costmodel.Params) {
 	c.work[resource.Net] += p.Beta * p.Bytes(tuples)
 }
 
+// runState is the per-run execution state: the dataflow outputs, the
+// live build tables, and (on the flat path) the buffer arena plus the
+// ownership set that lets consumed intermediates recycle.
+type runState struct {
+	outputs map[*plan.Operator][]Tuple
+	// ar / owned / tables drive the flat data path. owned marks outputs
+	// whose backing came from the arena (probe results and store
+	// pass-throughs) — scan outputs alias the dataset's cached leaf
+	// slices and must never be recycled.
+	ar     *arena
+	owned  map[*plan.Operator]bool
+	tables map[int]*joinTables
+	// refTables is the Reference path's join ID -> per-clone map tables.
+	refTables map[int][]map[int32][]Tuple
+	// flat-table layout tallies, flushed to the recorder after the run.
+	nDirect, nCSR, nOA int64
+}
+
+func newRunState(reference bool, nOps int) *runState {
+	st := &runState{outputs: make(map[*plan.Operator][]Tuple, nOps)}
+	if reference {
+		st.refTables = make(map[int][]map[int32][]Tuple)
+	} else {
+		st.ar = arenaPool.Get().(*arena)
+		st.owned = make(map[*plan.Operator]bool)
+		st.tables = make(map[int]*joinTables)
+	}
+	return st
+}
+
+// release recycles op's output buffer after its single pipeline
+// consumer has finished reading it. Outputs that alias non-arena
+// memory (leaf caches) are left alone.
+func (st *runState) release(op *plan.Operator) {
+	if op == nil || !st.owned[op] {
+		return
+	}
+	st.ar.putTuples(st.outputs[op])
+	delete(st.owned, op)
+}
+
 // Run executes the schedule over the dataset. The schedule must have
 // been produced for the same plan (the same *query.PlanNode) the dataset
 // was generated from.
@@ -146,9 +198,32 @@ func (e Engine) RunCtx(ctx context.Context, ds *Dataset, s *sched.Schedule) (*Re
 	}
 
 	rep := &Report{JoinResults: make(map[int]int), Predicted: s.Response}
-	outputs := make(map[*plan.Operator][]Tuple, nOps)
-	// tables[joinID][clone] is a partial hash table: join key -> rows.
-	tables := make(map[int][]map[int32][]Tuple)
+	st := newRunState(e.Reference, nOps)
+	start := time.Now()
+	defer func() {
+		if e.Rec != nil {
+			e.Rec.Count("engine.runs", 1)
+			e.Rec.Count("engine.run_ns", time.Since(start).Nanoseconds())
+			e.Rec.Observe("engine.run_seconds", time.Since(start).Seconds())
+			if st.ar != nil {
+				e.Rec.Count("engine.arena_reuses", st.ar.reuses)
+				e.Rec.Count("engine.arena_allocs", st.ar.allocs)
+				e.Rec.Count("engine.tables_direct", st.nDirect)
+				e.Rec.Count("engine.tables_csr", st.nCSR)
+				e.Rec.Count("engine.tables_oa", st.nOA)
+			}
+		}
+		if st.ar != nil {
+			// Reclaim whatever owned outputs remain (normally just the
+			// root's), then hand the arena to the next run.
+			for op := range st.owned {
+				st.ar.putTuples(st.outputs[op])
+			}
+			st.ar.resetStats()
+			arenaPool.Put(st.ar)
+			st.ar = nil
+		}
+	}()
 
 	for phaseIdx, ph := range s.Phases {
 		if err := ctx.Err(); err != nil {
@@ -168,7 +243,13 @@ func (e Engine) RunCtx(ctx context.Context, ds *Dataset, s *sched.Schedule) (*Re
 		}
 
 		for _, pl := range placements {
-			meters, err := e.runOperator(pl, ds, outputs, tables, rep)
+			var meters []*cloneMeter
+			var err error
+			if e.Reference {
+				meters, err = e.runOperatorRef(pl, ds, st.outputs, st.refTables, rep)
+			} else {
+				meters, err = e.runOperator(pl, ds, st, rep)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("engine: %s: %w", pl.Op.Name, err)
 			}
@@ -187,7 +268,7 @@ func (e Engine) RunCtx(ctx context.Context, ds *Dataset, s *sched.Schedule) (*Re
 				Rooted:    pl.Rooted,
 				Predicted: pl.TPar,
 				Measured:  measured,
-				OutTuples: len(outputs[pl.Op]),
+				OutTuples: len(st.outputs[pl.Op]),
 			})
 		}
 		t := sys.MaxTSite()
@@ -201,7 +282,7 @@ func (e Engine) RunCtx(ctx context.Context, ds *Dataset, s *sched.Schedule) (*Re
 		}
 	}
 
-	rep.ResultTuples = len(outputs[root])
+	rep.ResultTuples = len(st.outputs[root])
 	want := root.Spec.ResultTuples
 	if want == 0 && root.Kind == costmodel.Scan {
 		want = root.Spec.InTuples
@@ -213,37 +294,49 @@ func (e Engine) RunCtx(ctx context.Context, ds *Dataset, s *sched.Schedule) (*Re
 	return rep, nil
 }
 
-// runOperator executes one placed operator and returns its per-clone
-// meters (aligned with pl.Sites).
-func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
-	outputs map[*plan.Operator][]Tuple, tables map[int][]map[int32][]Tuple,
-	rep *Report) ([]*cloneMeter, error) {
+// checkPlacement rejects the two malformed-placement shapes that used
+// to fail silently: a degree below one (divide-by-zero in partitionOf,
+// empty splits) and a Sites/Degree mismatch (panic on the
+// meter-to-site zip in Run).
+func checkPlacement(pl *sched.OpPlacement) error {
+	if pl.Degree < 1 {
+		return fmt.Errorf("placement degree %d < 1", pl.Degree)
+	}
+	if len(pl.Sites) != pl.Degree {
+		return fmt.Errorf("placement has %d sites for %d clones", len(pl.Sites), pl.Degree)
+	}
+	return nil
+}
 
-	n := pl.Degree
-	op := pl.Op
-	// A schedule can only reach the engine malformed (a hand-built or
-	// corrupted one), but both failure shapes used to be silent: a
-	// degree below one made partitionOf divide by zero later while
-	// splitContiguous quietly produced no parts, and a Sites/Degree
-	// mismatch panicked on the meter-to-site zip in Run. Reject both up
-	// front with errors that name the operator's actual shape.
-	if n < 1 {
-		return nil, fmt.Errorf("placement degree %d < 1", n)
-	}
-	if len(pl.Sites) != n {
-		return nil, fmt.Errorf("placement has %d sites for %d clones", len(pl.Sites), n)
-	}
+// newMeters builds one meter per clone and charges the coordinator's
+// startup: clone 0 pays α·N, split evenly between CPU and network,
+// exactly as the cost model plans it.
+func newMeters(n int, p costmodel.Params) []*cloneMeter {
 	meters := make([]*cloneMeter, n)
 	for k := range meters {
 		meters[k] = newMeter()
 	}
-	p := e.Model.Params
-
-	// The coordinator (clone 0) pays the startup α·N, split evenly
-	// between CPU and network, exactly as the cost model plans it.
 	startup := p.Alpha * float64(n) / 2
 	meters[0].work[resource.CPU] += startup
 	meters[0].work[resource.Net] += startup
+	return meters
+}
+
+// runOperator executes one placed operator through the flat data path
+// and returns its per-clone meters (aligned with pl.Sites). Every
+// meter value is identical to the reference path's: partition contents,
+// match order, and result cardinalities are preserved exactly, so the
+// two executors produce byte-identical Reports.
+func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset, st *runState,
+	rep *Report) ([]*cloneMeter, error) {
+
+	if err := checkPlacement(pl); err != nil {
+		return nil, err
+	}
+	n := pl.Degree
+	op := pl.Op
+	p := e.Model.Params
+	meters := newMeters(n, p)
 
 	switch op.Kind {
 	case costmodel.Scan:
@@ -253,7 +346,6 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 		}
 		all := ds.LeafTuples(leafIdx)
 		parts := splitContiguous(all, n)
-		out := make([][]Tuple, n)
 		err = e.eachClone(op, n, func(k int) error {
 			rows := parts[k]
 			pages := p.Pages(len(rows))
@@ -262,111 +354,141 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 			if op.Spec.NetOut {
 				meters[k].addNetTuples(len(rows), p)
 			}
-			out[k] = rows
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		outputs[op] = concat(out)
+		// The contiguous parts tile the cached leaf slice in order, so
+		// the scan's output IS that slice — no concat copy, no
+		// ownership (the cache outlives the run).
+		st.outputs[op] = all
 		obs.Count(e.Rec, "engine.tuples_scanned", int64(len(all)))
 
 	case costmodel.Build:
-		in, err := e.producerOutput(op, outputs)
+		in, prod, err := e.producerInput(op, st.outputs)
 		if err != nil {
 			return nil, err
 		}
-		parts, err := e.partitionByKey(ds, in, op.Source, n)
+		rp, err := radixPartition(st.ar, ds, op.Source, in, n)
 		if err != nil {
 			return nil, err
 		}
-		partials := make([]map[int32][]Tuple, n)
+		jt := newJoinTables(st.ar, ds, op.Source, rp, n, OuterIsCarrier(op.Source))
+		for k := range jt.clones {
+			switch jt.clones[k].kind {
+			case tableDirect:
+				st.nDirect++
+			case tableCSR:
+				st.nCSR++
+			default:
+				st.nOA++
+			}
+		}
 		err = e.eachClone(op, n, func(k int) error {
-			table := make(map[int32][]Tuple, len(parts[k]))
-			for _, t := range parts[k] {
-				key, err := ds.Key(t, op.Source)
-				if err != nil {
-					return err
-				}
-				table[key] = append(table[key], t)
+			if err := jt.clones[k].insert(rp.tuples[k], rp.keys[k]); err != nil {
+				return err
 			}
 			if op.Spec.NetIn {
-				meters[k].addNetTuples(len(parts[k]), p)
+				meters[k].addNetTuples(len(rp.tuples[k]), p)
 			}
-			meters[k].addCPU(float64(len(parts[k]))*(p.ExtractInstr+p.HashInstr), p)
-			partials[k] = table
+			meters[k].addCPU(float64(len(rp.tuples[k]))*(p.ExtractInstr+p.HashInstr), p)
 			return nil
 		})
 		if err != nil {
+			jt.release(st.ar)
+			rp.release(st.ar)
 			return nil, err
 		}
-		tables[op.JoinID] = partials
-		outputs[op] = nil // the table is the output; nothing streams on
+		st.tables[op.JoinID] = jt
+		// The tables hold bare row numbers: the scattered tuples are no
+		// longer needed, and neither is the producer's output.
+		rp.release(st.ar)
+		st.release(prod)
+		st.outputs[op] = nil // the table is the output; nothing streams on
 		obs.Count(e.Rec, "engine.tuples_built", int64(len(in)))
 
 	case costmodel.Probe:
-		partials, ok := tables[op.JoinID]
+		jt, ok := st.tables[op.JoinID]
 		if !ok {
 			return nil, fmt.Errorf("probing join %d before its build", op.JoinID)
 		}
-		if len(partials) != n {
-			return nil, fmt.Errorf("probe degree %d != build degree %d", n, len(partials))
+		if len(jt.clones) != n {
+			return nil, fmt.Errorf("probe degree %d != build degree %d", n, len(jt.clones))
 		}
-		in, err := e.producerOutput(op, outputs)
+		in, prod, err := e.producerInput(op, st.outputs)
 		if err != nil {
 			return nil, err
 		}
-		parts, err := e.partitionByKey(ds, in, op.Source, n)
+		rp, err := radixPartition(st.ar, ds, op.Source, in, n)
 		if err != nil {
 			return nil, err
 		}
 		outerCarrier := OuterIsCarrier(op.Source)
 		out := make([][]Tuple, n)
-		counts := make([]int, n)
+		for k := 0; k < n; k++ {
+			// Capacity hints: presence probes emit at most their input;
+			// match probes emit (under the FK discipline) exactly the
+			// build partition's size. Either way append can still grow.
+			hint := len(rp.tuples[k])
+			if !outerCarrier {
+				hint = int(jt.clones[k].n)
+			}
+			out[k] = st.ar.getTuples(hint)[:0]
+		}
 		err = e.eachClone(op, n, func(k int) error {
 			var res []Tuple
-			for _, t := range parts[k] {
-				key, err := ds.Key(t, op.Source)
-				if err != nil {
-					return err
-				}
-				matches := partials[k][key]
-				if outerCarrier {
-					// Inner keys are unique: at most one match survives,
-					// and the outer tuple's identity carries on.
-					if len(matches) > 0 {
-						res = append(res, t)
-					}
-				} else {
-					res = append(res, matches...)
-				}
+			var perr error
+			if outerCarrier {
+				res, perr = jt.clones[k].probePresence(rp.tuples[k], rp.keys[k], out[k])
+			} else {
+				res, perr = jt.clones[k].probeMatches(rp.keys[k], out[k])
 			}
+			if perr != nil {
+				return perr
+			}
+			out[k] = res
 			if op.Spec.NetIn {
-				meters[k].addNetTuples(len(parts[k]), p)
+				meters[k].addNetTuples(len(rp.tuples[k]), p)
 			}
 			if op.Spec.NetOut {
 				meters[k].addNetTuples(len(res), p)
 			}
-			meters[k].addCPU(float64(len(parts[k]))*p.ProbeInstr+float64(len(res))*p.ExtractInstr, p)
-			out[k] = res
-			counts[k] = len(res)
+			meters[k].addCPU(float64(len(rp.tuples[k]))*p.ProbeInstr+float64(len(res))*p.ExtractInstr, p)
 			return nil
 		})
 		if err != nil {
+			for k := range out {
+				st.ar.putTuples(out[k])
+			}
+			rp.release(st.ar)
 			return nil, err
 		}
-		result := concat(out)
+		total := 0
+		for k := range out {
+			total += len(out[k])
+		}
+		result := st.ar.getTuples(total)[:0]
+		for k := range out {
+			result = append(result, out[k]...)
+			st.ar.putTuples(out[k])
+		}
+		rp.release(st.ar)
+		st.release(prod)
+		jt.release(st.ar)
+		delete(st.tables, op.JoinID)
 		rep.JoinResults[op.JoinID] = len(result)
 		if len(result) != op.Spec.ResultTuples {
 			return nil, fmt.Errorf("join %d produced %d tuples, expected %d",
 				op.JoinID, len(result), op.Spec.ResultTuples)
 		}
-		outputs[op] = result
+		st.outputs[op] = result
+		st.owned[op] = true
 		obs.Count(e.Rec, "engine.tuples_probed", int64(len(in)))
 		obs.Count(e.Rec, "engine.tuples_joined", int64(len(result)))
 
 	case costmodel.Store:
-		in, err := e.producerOutput(op, outputs)
+		in, prod, err := e.producerInput(op, st.outputs)
 		if err != nil {
 			return nil, err
 		}
@@ -383,7 +505,13 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 		if err != nil {
 			return nil, err
 		}
-		outputs[op] = in // materialization preserves the stream
+		st.outputs[op] = in // materialization preserves the stream
+		// Ownership of the producer's buffer transfers to the store's
+		// aliased output.
+		if st.owned[prod] {
+			delete(st.owned, prod)
+			st.owned[op] = true
+		}
 		obs.Count(e.Rec, "engine.tuples_stored", int64(len(in)))
 
 	default:
@@ -392,18 +520,20 @@ func (e Engine) runOperator(pl *sched.OpPlacement, ds *Dataset,
 	return meters, nil
 }
 
-// producerOutput resolves op's pipeline producer and returns that
-// producer's output stream. A missing producer is an error: reading
-// outputs[nil] instead would silently execute the operator over an
-// empty input and misreport every downstream cardinality.
-func (e Engine) producerOutput(op *plan.Operator,
-	outputs map[*plan.Operator][]Tuple) ([]Tuple, error) {
+// producerInput resolves op's pipeline producer and returns that
+// producer's output stream along with the producer itself (so callers
+// can release the buffer once consumed). A missing producer is an
+// error: reading outputs[nil] instead would silently execute the
+// operator over an empty input and misreport every downstream
+// cardinality.
+func (e Engine) producerInput(op *plan.Operator,
+	outputs map[*plan.Operator][]Tuple) ([]Tuple, *plan.Operator, error) {
 	prod := producerOf(op)
 	if prod == nil {
-		return nil, fmt.Errorf("no pipeline producer feeds %s (task of %d operators)",
+		return nil, nil, fmt.Errorf("no pipeline producer feeds %s (task of %d operators)",
 			op.Name, len(op.Task.Ops))
 	}
-	return outputs[prod], nil
+	return outputs[prod], prod, nil
 }
 
 // producerOf returns the operator whose pipelined output feeds op, or
@@ -420,26 +550,10 @@ func producerOf(op *plan.Operator) *plan.Operator {
 	return nil
 }
 
-// partitionByKey hash-partitions tuples on their key for the given join
-// into n buckets — the exchange (repartitioning) operator of assumption
-// A5. Build and probe use the same function, so matching keys always
-// co-locate.
-func (e Engine) partitionByKey(ds *Dataset, in []Tuple, join *query.PlanNode, n int) ([][]Tuple, error) {
-	parts := make([][]Tuple, n)
-	for _, t := range in {
-		key, err := ds.Key(t, join)
-		if err != nil {
-			return nil, err
-		}
-		parts[partitionOf(key, n)] = append(parts[partitionOf(key, n)], t)
-	}
-	return parts, nil
-}
-
 // partitionOf maps a join key to a partition in [0, n) with a
 // multiplicative mix so that structured key sets still spread evenly.
 func partitionOf(key int32, n int) int {
-	h := uint32(key) * 2654435761 // Knuth's multiplicative hash constant
+	h := uint32(key) * hashMul // Knuth's multiplicative hash constant
 	return int(h % uint32(n))
 }
 
@@ -460,24 +574,12 @@ func splitContiguous(all []Tuple, n int) [][]Tuple {
 	return parts
 }
 
-func concat(parts [][]Tuple) []Tuple {
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]Tuple, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
-}
-
-// eachClone runs fn for every clone index of op, in parallel when
-// configured. The lowest-index error wins, so the reported failure is
-// deterministic across serial and parallel runs. Every arm of
-// runOperator must check the returned error — the Scan arm once did
-// not, and a failing clone there masqueraded as a clean run.
-func (e Engine) eachClone(op *plan.Operator, n int, fn func(k int) error) error {
+// cloneFn wraps the clone body with the run's cross-cutting layers:
+// the cancellation check, the test fault hook, and clone-run
+// recording. The wrapping order is identical for the serial, bounded
+// parallel, and reference paths, so all three fail on the same
+// deterministic lowest clone index.
+func (e Engine) cloneFn(op *plan.Operator, fn func(k int) error) func(k int) error {
 	run := fn
 	if ctx := e.ctx; ctx != nil {
 		// Cancellation is checked before every clone body, so a run under
@@ -509,6 +611,20 @@ func (e Engine) eachClone(op *plan.Operator, n int, fn func(k int) error) error 
 			return inner(k)
 		}
 	}
+	return run
+}
+
+// eachClone runs fn for every clone index of op, in parallel when
+// configured. Parallel mode fans the clones over an internal/par
+// bounded pool clamped to GOMAXPROCS — the engine used to spawn one
+// goroutine per clone, unbounded at degree ≫ GOMAXPROCS. Errors are
+// collected positionally and reduced in index order, so the lowest-
+// index error wins and the reported failure is deterministic across
+// serial and parallel runs and every pool width. Every arm of
+// runOperator must check the returned error — the Scan arm once did
+// not, and a failing clone there masqueraded as a clean run.
+func (e Engine) eachClone(op *plan.Operator, n int, fn func(k int) error) error {
+	run := e.cloneFn(op, fn)
 	if !e.Parallel || n == 1 {
 		for k := 0; k < n; k++ {
 			if err := run(k); err != nil {
@@ -517,16 +633,12 @@ func (e Engine) eachClone(op *plan.Operator, n int, fn func(k int) error) error 
 		}
 		return nil
 	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for k := 0; k < n; k++ {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			errs[k] = run(k)
-		}(k)
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
 	}
-	wg.Wait()
+	errs := make([]error, n)
+	par.For(w, n, func(k int) { errs[k] = run(k) })
 	for _, err := range errs {
 		if err != nil {
 			return err
